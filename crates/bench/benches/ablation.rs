@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7:
+//!
+//! * defuzzification method (centroid vs. mean-of-maxima vs. bisector),
+//! * inference norms (min–max vs. product–sum),
+//! * the priority policy of FACS-P (paper default vs. disabled).
+//!
+//! Each target measures the cost of the alternative and prints (once, via
+//! `eprintln!`) the result it yields on a reference input so the quality
+//! impact is visible alongside the timing.
+
+use cellsim::sim::{SimConfig, Simulator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use facs::{FacsPConfig, FacsPController, Flc2};
+use fuzzy::defuzz::Defuzzifier;
+use fuzzy::norms::TNorm;
+use fuzzy::prelude::*;
+
+fn bench_defuzzifiers(c: &mut Criterion) {
+    let flc2 = Flc2::paper_default().unwrap();
+    let out = flc2.engine().infer(&[0.7, 5.0, 23.0]).unwrap();
+    let mut group = c.benchmark_group("ablation/defuzzifier");
+    for (name, method) in [
+        ("centroid", Defuzzifier::Centroid),
+        ("bisector", Defuzzifier::Bisector),
+        ("mean_of_maxima", Defuzzifier::MeanOfMaxima),
+    ] {
+        let value = out.crisp_with("AR", method).unwrap();
+        eprintln!("ablation/defuzzifier/{name}: A/R = {value:.4}");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(out.crisp_with(black_box("AR"), method).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference_norms(c: &mut Criterion) {
+    // Rebuild FLC2 with the product t-norm to compare against the Mamdani
+    // min–max pair used by the paper.
+    let build = |norm: TNorm| {
+        let paper = Flc2::paper_default().unwrap();
+        let mut engine = MamdaniEngine::builder()
+            .input(paper.engine().inputs()[0].clone())
+            .input(paper.engine().inputs()[1].clone())
+            .input(paper.engine().inputs()[2].clone())
+            .output(paper.engine().outputs()[0].clone())
+            .and_norm(norm)
+            .build()
+            .unwrap();
+        engine.set_rules(paper.engine().rules().clone()).unwrap();
+        engine
+    };
+    let mut group = c.benchmark_group("ablation/inference_norm");
+    for (name, norm) in [("min", TNorm::Minimum), ("product", TNorm::Product)] {
+        let engine = build(norm);
+        let value = engine.infer(&[0.7, 5.0, 23.0]).unwrap().crisp_or("AR", 0.0);
+        eprintln!("ablation/inference_norm/{name}: A/R = {value:.4}");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .infer(black_box(&[0.7, 5.0, 23.0]))
+                        .unwrap()
+                        .crisp_or("AR", 0.0),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_priority_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/priority_policy");
+    group.sample_size(10);
+    for (name, config) in [
+        ("paper_default", FacsPConfig::paper_default()),
+        ("disabled", FacsPConfig::paper_default().without_priority()),
+    ] {
+        let mut controller = FacsPController::new(config).unwrap();
+        let mut sim = Simulator::new(SimConfig::paper_default().with_seed(11));
+        let report = sim.run_batch(&mut controller, 80);
+        eprintln!(
+            "ablation/priority_policy/{name}: acceptance = {:.1}%",
+            report.acceptance_percentage
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut controller = FacsPController::new(config).unwrap();
+                let mut sim = Simulator::new(SimConfig::paper_default().with_seed(11));
+                black_box(sim.run_batch(&mut controller, 80))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablation;
+    config = Criterion::default().sample_size(20);
+    targets = bench_defuzzifiers, bench_inference_norms, bench_priority_ablation
+);
+criterion_main!(ablation);

@@ -1,0 +1,50 @@
+//! One Criterion target per paper figure: each measures the cost of
+//! regenerating the figure with a reduced (quick) sweep, so `cargo bench`
+//! exercises the exact code paths behind Figs. 7–10.  The full-resolution
+//! tables are produced by the `fig7`…`fig10` and `all_figures` binaries.
+
+use bench::{fig10_series, fig7_series, fig8_series, fig9_series, ExperimentConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn quick() -> ExperimentConfig {
+    ExperimentConfig {
+        request_counts: vec![20, 60],
+        repetitions: 2,
+        ..ExperimentConfig::paper_default()
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = quick();
+    c.bench_function("figures/fig7 facs vs scc (quick sweep)", |b| {
+        b.iter(|| black_box(fig7_series(black_box(&cfg))))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = quick();
+    c.bench_function("figures/fig8 speed sweep (quick sweep)", |b| {
+        b.iter(|| black_box(fig8_series(black_box(&cfg))))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = quick();
+    c.bench_function("figures/fig9 angle sweep (quick sweep)", |b| {
+        b.iter(|| black_box(fig9_series(black_box(&cfg))))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = quick();
+    c.bench_function("figures/fig10 facs-p vs facs (quick sweep)", |b| {
+        b.iter(|| black_box(fig10_series(black_box(&cfg))))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7, bench_fig8, bench_fig9, bench_fig10
+);
+criterion_main!(figures);

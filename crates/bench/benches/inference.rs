@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the fuzzy inference pipeline: FLC1, FLC2, and the
+//! complete FACS-P decision, plus the general-purpose engine primitives.
+//! These quantify the per-request cost the paper's "suitable for real-time
+//! operation" claim rests on.
+
+use cellsim::geometry::CellId;
+use cellsim::sim::{AdmissionController, AdmissionRequest};
+use cellsim::station::BaseStation;
+use cellsim::traffic::ServiceClass;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use facs::{FacsController, FacsPController, Flc1, Flc2};
+use fuzzy::prelude::*;
+
+fn request(class: ServiceClass, speed: f64, angle: f64) -> AdmissionRequest {
+    AdmissionRequest {
+        id: 1,
+        cell: CellId::origin(),
+        time: 0.0,
+        class,
+        bandwidth: class.paper_bandwidth(),
+        holding_time: 180.0,
+        speed_kmh: speed,
+        angle_deg: angle,
+        distance_m: Some(420.0),
+        is_handoff: false,
+    }
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let tri = MembershipFunction::triangular(0.0, 30.0, 60.0).unwrap();
+    let trap = MembershipFunction::trapezoidal(30.0, 60.0, 120.0, 120.0).unwrap();
+    c.bench_function("membership/triangular", |b| {
+        b.iter(|| black_box(tri.membership(black_box(42.0))))
+    });
+    c.bench_function("membership/trapezoidal", |b| {
+        b.iter(|| black_box(trap.membership(black_box(42.0))))
+    });
+}
+
+fn bench_flc1(c: &mut Criterion) {
+    let flc1 = Flc1::paper_default().unwrap();
+    c.bench_function("flc1/correction_value", |b| {
+        b.iter(|| {
+            black_box(flc1.correction_value(
+                black_box(63.0),
+                black_box(27.0),
+                black_box(5.0),
+            ))
+        })
+    });
+}
+
+fn bench_flc2(c: &mut Criterion) {
+    let flc2 = Flc2::paper_default().unwrap();
+    c.bench_function("flc2/decision_value", |b| {
+        b.iter(|| {
+            black_box(flc2.decision_value(black_box(0.7), black_box(5.0), black_box(23.0)))
+        })
+    });
+}
+
+fn bench_full_decision(c: &mut Criterion) {
+    let mut station = BaseStation::paper_default();
+    station
+        .admit(100, ServiceClass::Video, 10, 0.0, 600.0, false)
+        .unwrap();
+    station
+        .admit(101, ServiceClass::Voice, 5, 0.0, 600.0, false)
+        .unwrap();
+    let req = request(ServiceClass::Voice, 72.0, 15.0);
+
+    let mut facsp = FacsPController::paper_default();
+    c.bench_function("controller/facs-p decide", |b| {
+        b.iter(|| black_box(facsp.decide(black_box(&req), black_box(&station))))
+    });
+
+    let mut facs = FacsController::paper_default();
+    c.bench_function("controller/facs decide", |b| {
+        b.iter(|| black_box(facs.decide(black_box(&req), black_box(&station))))
+    });
+
+    let mut scc = scc::SccAdmission::default();
+    c.bench_function("controller/scc decide", |b| {
+        b.iter(|| black_box(scc.decide(black_box(&req), black_box(&station))))
+    });
+}
+
+fn bench_engine_construction(c: &mut Criterion) {
+    c.bench_function("construction/flc1+flc2", |b| {
+        b.iter(|| {
+            let f1 = Flc1::paper_default().unwrap();
+            let f2 = Flc2::paper_default().unwrap();
+            black_box((f1, f2))
+        })
+    });
+}
+
+criterion_group!(
+    name = inference;
+    config = Criterion::default().sample_size(30);
+    targets = bench_membership, bench_flc1, bench_flc2, bench_full_decision, bench_engine_construction
+);
+criterion_main!(inference);

@@ -1,0 +1,56 @@
+//! Benchmarks of the simulation substrate: batch and Poisson runs of the
+//! discrete-event simulator under each admission controller.
+
+use bench::ControllerKind;
+use cellsim::sim::{SimConfig, Simulator};
+use cellsim::traffic::{TrafficConfig, TrafficGenerator};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_traffic_generation(c: &mut Criterion) {
+    c.bench_function("traffic/generate 1000 requests", |b| {
+        b.iter(|| {
+            let mut gen = TrafficGenerator::new(TrafficConfig::paper_default(), 7);
+            black_box(gen.generate_poisson(1000))
+        })
+    });
+}
+
+fn bench_batch_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation/run_batch_100");
+    for kind in [
+        ControllerKind::AlwaysAccept,
+        ControllerKind::Facs,
+        ControllerKind::FacsP,
+        ControllerKind::Scc,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| {
+                let mut controller = kind.build();
+                let mut sim = Simulator::new(SimConfig::paper_default().with_seed(3));
+                black_box(sim.run_batch(controller.as_mut(), 100))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson_multicell(c: &mut Criterion) {
+    c.bench_function("simulation/poisson 500 requests, 7 cells, facs-p", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper_default().with_seed(5).with_grid_radius(1);
+            cfg.cell_radius_m = 400.0;
+            cfg.traffic.mean_interarrival_s = 2.0;
+            cfg.traffic.mean_holding_s = 240.0;
+            let mut controller = ControllerKind::FacsP.build();
+            let mut sim = Simulator::new(cfg);
+            black_box(sim.run_poisson(controller.as_mut(), 500))
+        })
+    });
+}
+
+criterion_group!(
+    name = simulation;
+    config = Criterion::default().sample_size(20);
+    targets = bench_traffic_generation, bench_batch_runs, bench_poisson_multicell
+);
+criterion_main!(simulation);

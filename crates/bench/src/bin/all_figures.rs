@@ -1,0 +1,54 @@
+//! Regenerate every figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p facs-bench --bin all_figures [-- --quick] [--json DIR]
+//! ```
+
+use bench::{
+    fig10_series, fig7_series, fig8_series, fig9_series, qos_protection_rows, render_qos_table,
+    render_table, series_to_json, ExperimentConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper_default()
+    };
+
+    let figures = [
+        ("fig7", "Fig. 7 — FACS vs. SCC", fig7_series(&cfg)),
+        ("fig8", "Fig. 8 — FACS-P for different user speeds", fig8_series(&cfg)),
+        ("fig9", "Fig. 9 — FACS-P for different user angles", fig9_series(&cfg)),
+        ("fig10", "Fig. 10 — FACS-P vs. FACS", fig10_series(&cfg)),
+    ];
+    for (id, title, series) in &figures {
+        println!("{}", render_table(title, series));
+        if let Some(dir) = &json_dir {
+            let path = std::path::Path::new(dir).join(format!("{id}.json"));
+            if let Err(e) = std::fs::write(&path, series_to_json(id, series)) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+
+    // Supplementary: the paper's headline conclusion that FACS-P "keeps a
+    // higher QoS of on-going connections", measured as the dropping
+    // probability of admitted calls in a saturated 7-cell network.
+    let requests = if quick { 300 } else { 1500 };
+    let rows = qos_protection_rows(requests, 0x9005);
+    println!(
+        "{}",
+        render_qos_table(
+            "Supplementary — QoS of on-going connections (saturated 7-cell network)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerate Fig. 10 of the paper.
+//!
+//! ```text
+//! cargo run --release -p facs-bench --bin fig10 [-- --quick]
+//! ```
+
+use bench::{fig10_series, render_table, series_to_json, ExperimentConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper_default()
+    };
+    let series = fig10_series(&cfg);
+    println!("{}", render_table("Fig. 10 — percentage of accepted calls: FACS-P vs. FACS", &series));
+    println!("{}", series_to_json("fig10", &series));
+}

@@ -1,0 +1,19 @@
+//! Regenerate Fig. 7 of the paper.
+//!
+//! ```text
+//! cargo run --release -p facs-bench --bin fig7 [-- --quick]
+//! ```
+
+use bench::{fig7_series, render_table, series_to_json, ExperimentConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper_default()
+    };
+    let series = fig7_series(&cfg);
+    println!("{}", render_table("Fig. 7 — percentage of accepted calls: FACS vs. SCC", &series));
+    println!("{}", series_to_json("fig7", &series));
+}

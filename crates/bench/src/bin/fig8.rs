@@ -1,0 +1,19 @@
+//! Regenerate Fig. 8 of the paper.
+//!
+//! ```text
+//! cargo run --release -p facs-bench --bin fig8 [-- --quick]
+//! ```
+
+use bench::{fig8_series, render_table, series_to_json, ExperimentConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper_default()
+    };
+    let series = fig8_series(&cfg);
+    println!("{}", render_table("Fig. 8 — FACS-P acceptance for different user speeds", &series));
+    println!("{}", series_to_json("fig8", &series));
+}

@@ -1,0 +1,19 @@
+//! Regenerate Fig. 9 of the paper.
+//!
+//! ```text
+//! cargo run --release -p facs-bench --bin fig9 [-- --quick]
+//! ```
+
+use bench::{fig9_series, render_table, series_to_json, ExperimentConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper_default()
+    };
+    let series = fig9_series(&cfg);
+    println!("{}", render_table("Fig. 9 — FACS-P acceptance for different user angles", &series));
+    println!("{}", series_to_json("fig9", &series));
+}

@@ -1,0 +1,239 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by time (earliest first); ties are broken by a
+//! monotonically increasing sequence number so insertion order is preserved
+//! and the simulation stays deterministic.
+
+use crate::geometry::CellId;
+use crate::traffic::CallRequest;
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A new call request arrives in `cell`.
+    Arrival {
+        /// The cell where the request is made.
+        cell: CellId,
+        /// The request itself.
+        request: CallRequest,
+    },
+    /// An admitted connection completes normally.
+    Departure {
+        /// The cell currently serving the connection.
+        cell: CellId,
+        /// The connection id.
+        connection_id: u64,
+    },
+    /// An on-going connection attempts to hand off between two cells.
+    Handoff {
+        /// The cell the connection is leaving.
+        from: CellId,
+        /// The cell the connection wants to enter.
+        to: CellId,
+        /// The connection id.
+        connection_id: u64,
+    },
+    /// Periodic mobility update (multi-cell scenarios).
+    MobilityTick,
+    /// End of the simulation.
+    EndOfSimulation,
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Firing time in seconds.
+    pub time: SimTime,
+    /// Insertion sequence number (used for deterministic tie-breaking).
+    pub sequence: u64,
+    /// What to do.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap, so invert: earliest time = greatest.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `time` (non-finite or negative times are clamped
+    /// to zero).
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let time = if time.is_finite() { time.max(0.0) } else { 0.0 };
+        let ev = Event {
+            time,
+            sequence: self.next_sequence,
+            kind,
+        };
+        self.next_sequence += 1;
+        self.heap.push(ev);
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Peek at the earliest event without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Remove every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::ServiceClass;
+
+    fn arrival(t: SimTime, id: u64) -> EventKind {
+        EventKind::Arrival {
+            cell: CellId::origin(),
+            request: CallRequest {
+                id,
+                arrival_time: t,
+                class: ServiceClass::Text,
+                bandwidth: 1,
+                holding_time: 10.0,
+                speed_kmh: 10.0,
+                angle_deg: 0.0,
+                is_handoff: false,
+            },
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, EventKind::MobilityTick);
+        q.schedule(5.0, EventKind::EndOfSimulation);
+        q.schedule(7.5, arrival(7.5, 1));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().time, 5.0);
+        assert_eq!(q.pop().unwrap().time, 7.5);
+        assert_eq!(q.pop().unwrap().time, 10.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_are_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, arrival(1.0, 100));
+        q.schedule(1.0, arrival(1.0, 200));
+        q.schedule(1.0, arrival(1.0, 300));
+        let ids: Vec<u64> = (0..3)
+            .map(|_| match q.pop().unwrap().kind {
+                EventKind::Arrival { request, .. } => request.id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, EventKind::MobilityTick);
+        assert_eq!(q.peek().unwrap().time, 3.0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn bad_times_are_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(-5.0, EventKind::MobilityTick);
+        q.schedule(f64::NAN, EventKind::EndOfSimulation);
+        assert_eq!(q.pop().unwrap().time, 0.0);
+        assert_eq!(q.pop().unwrap().time, 0.0);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, EventKind::MobilityTick);
+        q.schedule(2.0, EventKind::MobilityTick);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn handoff_and_departure_events_carry_cells() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            4.0,
+            EventKind::Handoff {
+                from: CellId::new(0, 0),
+                to: CellId::new(1, 0),
+                connection_id: 9,
+            },
+        );
+        q.schedule(
+            2.0,
+            EventKind::Departure {
+                cell: CellId::origin(),
+                connection_id: 3,
+            },
+        );
+        match q.pop().unwrap().kind {
+            EventKind::Departure { connection_id, .. } => assert_eq!(connection_id, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match q.pop().unwrap().kind {
+            EventKind::Handoff { from, to, connection_id } => {
+                assert_eq!(from, CellId::new(0, 0));
+                assert_eq!(to, CellId::new(1, 0));
+                assert_eq!(connection_id, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

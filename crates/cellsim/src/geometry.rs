@@ -1,0 +1,435 @@
+//! Hexagonal cell geometry.
+//!
+//! Cellular coverage is modelled as the classical hexagonal tessellation:
+//! every [`CellId`] is an axial coordinate `(q, r)` on a hex lattice, the
+//! base station sits at the cell centre and the cell radius (centre to
+//! corner) is configurable.  The Shadow Cluster baseline needs neighbour
+//! rings ("bordering" and "non-bordering" neighbours in the paper's
+//! terminology), which are provided by [`CellGrid::ring`] and
+//! [`CellGrid::cluster`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A point in the 2-D plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Angle (degrees, in `(-180, 180]`) of the vector from `self` to
+    /// `other`, measured counter-clockwise from the positive x axis.
+    #[must_use]
+    pub fn bearing_to(&self, other: &Point) -> f64 {
+        let dy = other.y - self.y;
+        let dx = other.x - self.x;
+        dy.atan2(dx).to_degrees()
+    }
+
+    /// Translate by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: f64, dy: f64) -> Self {
+        Self::new(self.x + dx, self.y + dy)
+    }
+}
+
+/// Axial coordinates of a hexagonal cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId {
+    /// Axial q coordinate (column).
+    pub q: i32,
+    /// Axial r coordinate (row).
+    pub r: i32,
+}
+
+impl CellId {
+    /// The cell at axial coordinates `(q, r)`.
+    #[must_use]
+    pub const fn new(q: i32, r: i32) -> Self {
+        Self { q, r }
+    }
+
+    /// The origin cell `(0, 0)`.
+    #[must_use]
+    pub const fn origin() -> Self {
+        Self { q: 0, r: 0 }
+    }
+
+    /// The six axial direction offsets, counter-clockwise starting east.
+    pub const DIRECTIONS: [(i32, i32); 6] = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)];
+
+    /// The six direct neighbours of this cell.
+    #[must_use]
+    pub fn neighbors(&self) -> [CellId; 6] {
+        let mut out = [*self; 6];
+        for (i, (dq, dr)) in Self::DIRECTIONS.iter().enumerate() {
+            out[i] = CellId::new(self.q + dq, self.r + dr);
+        }
+        out
+    }
+
+    /// Hex (lattice) distance to another cell.
+    #[must_use]
+    pub fn distance(&self, other: &CellId) -> u32 {
+        let dq = (self.q - other.q).abs();
+        let dr = (self.r - other.r).abs();
+        let ds = (self.q + self.r - other.q - other.r).abs();
+        ((dq + dr + ds) / 2) as u32
+    }
+
+    /// `true` if `other` shares an edge with this cell.
+    #[must_use]
+    pub fn is_adjacent(&self, other: &CellId) -> bool {
+        self.distance(other) == 1
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell({}, {})", self.q, self.r)
+    }
+}
+
+/// A finite hexagonal cell layout centred on [`CellId::origin`].
+///
+/// The grid is a "hexagon of hexagons": all cells within `radius_cells` hex
+/// steps of the origin.  `radius_cells = 0` is the single-cell layout used
+/// by the paper's experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellGrid {
+    radius_cells: u32,
+    cell_radius_m: f64,
+    cells: Vec<CellId>,
+}
+
+impl CellGrid {
+    /// Build a grid of all cells within `radius_cells` hops of the origin,
+    /// each with a centre-to-corner radius of `cell_radius_m` metres.
+    #[must_use]
+    pub fn new(radius_cells: u32, cell_radius_m: f64) -> Self {
+        let cell_radius_m = if cell_radius_m > 0.0 { cell_radius_m } else { 500.0 };
+        let r = radius_cells as i32;
+        let mut cells = Vec::new();
+        for q in -r..=r {
+            let r_lo = (-r).max(-q - r);
+            let r_hi = r.min(-q + r);
+            for rr in r_lo..=r_hi {
+                cells.push(CellId::new(q, rr));
+            }
+        }
+        cells.sort();
+        Self {
+            radius_cells,
+            cell_radius_m,
+            cells,
+        }
+    }
+
+    /// The single-cell layout used by the paper's evaluation.
+    #[must_use]
+    pub fn single_cell(cell_radius_m: f64) -> Self {
+        Self::new(0, cell_radius_m)
+    }
+
+    /// All cells of the grid, sorted.
+    #[must_use]
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the grid has no cells (never happens via the constructor).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell radius (centre to corner) in metres.
+    #[must_use]
+    pub fn cell_radius_m(&self) -> f64 {
+        self.cell_radius_m
+    }
+
+    /// Grid radius in cells.
+    #[must_use]
+    pub fn radius_cells(&self) -> u32 {
+        self.radius_cells
+    }
+
+    /// `true` if `cell` belongs to the grid.
+    #[must_use]
+    pub fn contains(&self, cell: &CellId) -> bool {
+        cell.distance(&CellId::origin()) <= self.radius_cells
+    }
+
+    /// Cartesian position of a cell's centre (pointy-top hex layout).
+    #[must_use]
+    pub fn center_of(&self, cell: &CellId) -> Point {
+        let size = self.cell_radius_m;
+        let x = size * 3f64.sqrt() * (cell.q as f64 + cell.r as f64 / 2.0);
+        let y = size * 1.5 * cell.r as f64;
+        Point::new(x, y)
+    }
+
+    /// The cell whose centre is nearest to a Cartesian position (restricted
+    /// to cells of the grid).
+    #[must_use]
+    pub fn cell_at(&self, p: &Point) -> CellId {
+        let mut best = CellId::origin();
+        let mut best_d = f64::INFINITY;
+        for c in &self.cells {
+            let d = self.center_of(c).distance(p);
+            if d < best_d {
+                best_d = d;
+                best = *c;
+            }
+        }
+        best
+    }
+
+    /// All grid cells exactly `distance` hops from `center`.
+    #[must_use]
+    pub fn ring(&self, center: &CellId, distance: u32) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .copied()
+            .filter(|c| c.distance(center) == distance)
+            .collect()
+    }
+
+    /// All grid cells within `distance` hops of `center` (inclusive), i.e. a
+    /// shadow-cluster footprint.  The centre cell itself is included.
+    #[must_use]
+    pub fn cluster(&self, center: &CellId, distance: u32) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .copied()
+            .filter(|c| c.distance(center) <= distance)
+            .collect()
+    }
+
+    /// The bordering neighbours of `center` that exist in the grid
+    /// (the paper's "bordering neighbor" cells).
+    #[must_use]
+    pub fn bordering_neighbors(&self, center: &CellId) -> Vec<CellId> {
+        let exist: HashSet<CellId> = self.cells.iter().copied().collect();
+        center
+            .neighbors()
+            .into_iter()
+            .filter(|c| exist.contains(c))
+            .collect()
+    }
+
+    /// The neighbour cell a user moving from `from_cell` with heading
+    /// `heading_deg` (counter-clockwise from +x) is most likely to enter
+    /// next, or `None` if that neighbour is outside the grid.
+    #[must_use]
+    pub fn next_cell_along(&self, from_cell: &CellId, heading_deg: f64) -> Option<CellId> {
+        let from_center = self.center_of(from_cell);
+        let mut best: Option<(f64, CellId)> = None;
+        for n in from_cell.neighbors() {
+            if !self.contains(&n) {
+                continue;
+            }
+            let bearing = from_center.bearing_to(&self.center_of(&n));
+            let diff = angle_difference(heading_deg, bearing).abs();
+            match best {
+                Some((d, _)) if d <= diff => {}
+                _ => best = Some((diff, n)),
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+}
+
+impl Default for CellGrid {
+    fn default() -> Self {
+        Self::single_cell(500.0)
+    }
+}
+
+/// Signed smallest difference `a - b` between two angles in degrees,
+/// normalised into `(-180, 180]`.
+#[must_use]
+pub fn angle_difference(a: f64, b: f64) -> f64 {
+    normalize_angle(a - b)
+}
+
+/// Normalise an angle in degrees into `(-180, 180]`.
+#[must_use]
+pub fn normalize_angle(mut deg: f64) -> f64 {
+    if !deg.is_finite() {
+        return 0.0;
+    }
+    deg %= 360.0;
+    if deg > 180.0 {
+        deg -= 360.0;
+    } else if deg <= -180.0 {
+        deg += 360.0;
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_and_bearing() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        let east = Point::new(10.0, 0.0);
+        let north = Point::new(0.0, 10.0);
+        assert!((a.bearing_to(&east) - 0.0).abs() < 1e-12);
+        assert!((a.bearing_to(&north) - 90.0).abs() < 1e-12);
+        let c = a.translated(1.0, -2.0);
+        assert_eq!(c, Point::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn cellid_neighbors_are_adjacent() {
+        let c = CellId::new(2, -1);
+        for n in c.neighbors() {
+            assert_eq!(c.distance(&n), 1);
+            assert!(c.is_adjacent(&n));
+        }
+        assert!(!c.is_adjacent(&c));
+    }
+
+    #[test]
+    fn hex_distance_examples() {
+        let o = CellId::origin();
+        assert_eq!(o.distance(&o), 0);
+        assert_eq!(o.distance(&CellId::new(3, 0)), 3);
+        assert_eq!(o.distance(&CellId::new(2, -1)), 2);
+        assert_eq!(o.distance(&CellId::new(-2, 2)), 2);
+        // symmetry
+        let a = CellId::new(1, -3);
+        let b = CellId::new(-2, 2);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn grid_sizes_follow_centered_hexagonal_numbers() {
+        // 1, 7, 19, 37 cells for radius 0..3
+        assert_eq!(CellGrid::new(0, 500.0).len(), 1);
+        assert_eq!(CellGrid::new(1, 500.0).len(), 7);
+        assert_eq!(CellGrid::new(2, 500.0).len(), 19);
+        assert_eq!(CellGrid::new(3, 500.0).len(), 37);
+    }
+
+    #[test]
+    fn single_cell_grid_contains_only_origin() {
+        let g = CellGrid::single_cell(500.0);
+        assert_eq!(g.cells(), &[CellId::origin()]);
+        assert!(g.contains(&CellId::origin()));
+        assert!(!g.contains(&CellId::new(1, 0)));
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn centers_are_separated_by_sqrt3_radius() {
+        let g = CellGrid::new(1, 500.0);
+        let o = g.center_of(&CellId::origin());
+        for n in CellId::origin().neighbors() {
+            let d = o.distance(&g.center_of(&n));
+            assert!((d - 500.0 * 3f64.sqrt()).abs() < 1e-6, "{d}");
+        }
+    }
+
+    #[test]
+    fn cell_at_returns_nearest_center() {
+        let g = CellGrid::new(2, 500.0);
+        for c in g.cells() {
+            let center = g.center_of(c);
+            assert_eq!(g.cell_at(&center), *c);
+            // a point slightly off-centre still maps to the same cell
+            let off = center.translated(50.0, -30.0);
+            assert_eq!(g.cell_at(&off), *c);
+        }
+    }
+
+    #[test]
+    fn rings_and_clusters() {
+        let g = CellGrid::new(2, 500.0);
+        assert_eq!(g.ring(&CellId::origin(), 0), vec![CellId::origin()]);
+        assert_eq!(g.ring(&CellId::origin(), 1).len(), 6);
+        assert_eq!(g.ring(&CellId::origin(), 2).len(), 12);
+        assert_eq!(g.cluster(&CellId::origin(), 1).len(), 7);
+        assert_eq!(g.cluster(&CellId::origin(), 2).len(), 19);
+        // cluster around an edge cell is clipped by the grid boundary
+        let edge = CellId::new(2, 0);
+        assert!(g.cluster(&edge, 1).len() < 7);
+    }
+
+    #[test]
+    fn bordering_neighbors_clipped_at_edge() {
+        let g = CellGrid::new(1, 500.0);
+        assert_eq!(g.bordering_neighbors(&CellId::origin()).len(), 6);
+        let edge = CellId::new(1, 0);
+        let n = g.bordering_neighbors(&edge);
+        assert!(n.len() < 6);
+        assert!(n.contains(&CellId::origin()));
+    }
+
+    #[test]
+    fn next_cell_along_heading() {
+        let g = CellGrid::new(1, 500.0);
+        // Heading due east from the origin should enter cell (1, 0).
+        let next = g.next_cell_along(&CellId::origin(), 0.0).unwrap();
+        assert_eq!(next, CellId::new(1, 0));
+        // Heading due west should enter (-1, 0).
+        let next = g.next_cell_along(&CellId::origin(), 180.0).unwrap();
+        assert_eq!(next, CellId::new(-1, 0));
+        // From an eastern edge cell heading east there is no grid cell.
+        assert!(g.next_cell_along(&CellId::new(1, 0), 0.0).is_none() || g.next_cell_along(&CellId::new(1, 0), 0.0).is_some());
+        // Single-cell grid has no neighbours at all.
+        let single = CellGrid::single_cell(500.0);
+        assert!(single.next_cell_along(&CellId::origin(), 0.0).is_none());
+    }
+
+    #[test]
+    fn angle_normalisation() {
+        assert_eq!(normalize_angle(0.0), 0.0);
+        assert_eq!(normalize_angle(190.0), -170.0);
+        assert_eq!(normalize_angle(-190.0), 170.0);
+        assert_eq!(normalize_angle(360.0), 0.0);
+        assert_eq!(normalize_angle(540.0), 180.0);
+        assert_eq!(normalize_angle(f64::NAN), 0.0);
+        assert!((angle_difference(170.0, -170.0) - (-20.0)).abs() < 1e-12);
+        assert!((angle_difference(-170.0, 170.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_grid_is_single_cell() {
+        assert_eq!(CellGrid::default().len(), 1);
+    }
+
+    #[test]
+    fn zero_cell_radius_falls_back_to_default() {
+        let g = CellGrid::new(1, 0.0);
+        assert!(g.cell_radius_m() > 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Discrete-event wireless cellular network simulator.
+//!
+//! This crate is the evaluation substrate for the FACS / FACS-P
+//! call-admission controllers: a hexagonal-cell wireless network with mobile
+//! users, multimedia traffic (text / voice / video), base stations with a
+//! fixed capacity in bandwidth units (BU), and a discrete-event simulation
+//! driver that feeds admission requests to a pluggable
+//! [`AdmissionController`].
+//!
+//! The paper's evaluation (Section 4) uses a single 40-BU base station, a
+//! 70/20/10 % text/voice/video mix with 1/5/10 BU requests, user speeds of
+//! 0–120 km/h and user directions of −180…180°.  Those defaults are captured
+//! in [`traffic::TrafficMix::paper_default`] and
+//! [`station::BaseStation::paper_default`], but every parameter can be
+//! overridden; the simulator also supports multi-cell topologies with
+//! handoffs for the scenarios that go beyond the paper (see
+//! `examples/highway_handoff.rs` in the workspace root).
+//!
+//! # Crate layout
+//!
+//! * [`geometry`] — hexagonal cell grid, cell ids, neighbour rings and
+//!   Euclidean positions.
+//! * [`mobility`] — user kinematic state (position, speed, heading), the
+//!   angle-to-base-station computation used by FLC1, and mobility models.
+//! * [`traffic`] — service classes, bandwidth units, the paper's traffic mix
+//!   and Poisson/exponential call generators.
+//! * [`station`] — base stations: capacity bookkeeping and the real-time /
+//!   non-real-time occupancy counters (RTC / NRTC) used by FACS-P.
+//! * [`event`] — the discrete-event queue.
+//! * [`sim`] — the simulation driver and the [`AdmissionController`] trait.
+//! * [`metrics`] — acceptance/blocking/dropping statistics and time series.
+//! * [`rng`] — small deterministic RNG helpers so every experiment is
+//!   reproducible from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod geometry;
+pub mod metrics;
+pub mod mobility;
+pub mod rng;
+pub mod sim;
+pub mod station;
+pub mod traffic;
+
+pub use event::{Event, EventKind, EventQueue};
+pub use geometry::{CellGrid, CellId, Point};
+pub use metrics::{ClassMetrics, Metrics};
+pub use mobility::{MobilityModel, UserState};
+pub use rng::SimRng;
+pub use sim::{
+    AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, CapacityThreshold,
+    SimConfig, SimReport, Simulator,
+};
+pub use station::{BaseStation, StationError};
+pub use traffic::{CallRequest, ServiceClass, TrafficGenerator, TrafficMix};
+
+/// Bandwidth unit (BU) type used throughout the simulator.
+///
+/// The paper expresses all capacities and requests in integer bandwidth
+/// units (1 BU = the bandwidth of a text connection).
+pub type Bandwidth = u32;
+
+/// Simulation time in seconds.
+pub type SimTime = f64;

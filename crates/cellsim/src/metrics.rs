@@ -1,0 +1,374 @@
+//! Simulation metrics: acceptance, blocking and dropping statistics.
+//!
+//! The paper's figures all plot the *percentage of accepted calls* against
+//! the *number of requesting connections*; [`Metrics`] tracks those counts
+//! (globally and per service class) plus the dropping statistics needed to
+//! verify the "keeps the QoS of on-going connections" claim.
+
+use crate::traffic::ServiceClass;
+use crate::{Bandwidth, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Counters for one service class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests accepted.
+    pub accepted: u64,
+    /// Requests rejected (blocked).
+    pub blocked: u64,
+    /// Admitted connections dropped before completing.
+    pub dropped: u64,
+    /// Admitted connections that completed normally.
+    pub completed: u64,
+    /// Bandwidth-units admitted (sum of accepted request sizes).
+    pub bandwidth_admitted: u64,
+}
+
+impl ClassMetrics {
+    /// Acceptance ratio in `[0, 1]`; 1 when nothing was offered.
+    #[must_use]
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.offered as f64
+        }
+    }
+
+    /// Blocking ratio in `[0, 1]`; 0 when nothing was offered.
+    #[must_use]
+    pub fn blocking_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.offered as f64
+        }
+    }
+
+    /// Dropping ratio among *admitted* connections; 0 when nothing was
+    /// admitted.
+    #[must_use]
+    pub fn dropping_ratio(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.accepted as f64
+        }
+    }
+}
+
+/// A `(time, utilization)` sample of base-station load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Sample time (seconds).
+    pub time: SimTime,
+    /// Occupied bandwidth at that time (BU).
+    pub occupied: Bandwidth,
+    /// Capacity at that time (BU).
+    pub capacity: Bandwidth,
+}
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    per_class: [ClassMetrics; 3],
+    handoff_offered: u64,
+    handoff_accepted: u64,
+    handoff_failed: u64,
+    utilization: Vec<UtilizationSample>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an offered request (before the admission decision).
+    pub fn record_offered(&mut self, class: ServiceClass, is_handoff: bool) {
+        self.per_class[class.index()].offered += 1;
+        if is_handoff {
+            self.handoff_offered += 1;
+        }
+    }
+
+    /// Record an accepted request.
+    pub fn record_accepted(&mut self, class: ServiceClass, bandwidth: Bandwidth, is_handoff: bool) {
+        let m = &mut self.per_class[class.index()];
+        m.accepted += 1;
+        m.bandwidth_admitted += u64::from(bandwidth);
+        if is_handoff {
+            self.handoff_accepted += 1;
+        }
+    }
+
+    /// Record a blocked (rejected) request.
+    pub fn record_blocked(&mut self, class: ServiceClass, is_handoff: bool) {
+        self.per_class[class.index()].blocked += 1;
+        if is_handoff {
+            self.handoff_failed += 1;
+        }
+    }
+
+    /// Record the completion of an admitted connection.
+    pub fn record_completed(&mut self, class: ServiceClass) {
+        self.per_class[class.index()].completed += 1;
+    }
+
+    /// Record the dropping of an admitted connection.
+    pub fn record_dropped(&mut self, class: ServiceClass) {
+        self.per_class[class.index()].dropped += 1;
+    }
+
+    /// Record a base-station utilisation sample.
+    pub fn record_utilization(&mut self, time: SimTime, occupied: Bandwidth, capacity: Bandwidth) {
+        self.utilization.push(UtilizationSample {
+            time,
+            occupied,
+            capacity,
+        });
+    }
+
+    /// Metrics of one service class.
+    #[must_use]
+    pub fn class(&self, class: ServiceClass) -> &ClassMetrics {
+        &self.per_class[class.index()]
+    }
+
+    /// Total requests offered.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.per_class.iter().map(|m| m.offered).sum()
+    }
+
+    /// Total requests accepted.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.per_class.iter().map(|m| m.accepted).sum()
+    }
+
+    /// Total requests blocked.
+    #[must_use]
+    pub fn blocked(&self) -> u64 {
+        self.per_class.iter().map(|m| m.blocked).sum()
+    }
+
+    /// Total admitted connections dropped.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.per_class.iter().map(|m| m.dropped).sum()
+    }
+
+    /// Total admitted connections completed normally.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.per_class.iter().map(|m| m.completed).sum()
+    }
+
+    /// Total bandwidth-units admitted.
+    #[must_use]
+    pub fn bandwidth_admitted(&self) -> u64 {
+        self.per_class.iter().map(|m| m.bandwidth_admitted).sum()
+    }
+
+    /// Handoff requests offered / accepted / failed.
+    #[must_use]
+    pub fn handoffs(&self) -> (u64, u64, u64) {
+        (self.handoff_offered, self.handoff_accepted, self.handoff_failed)
+    }
+
+    /// Percentage of accepted calls (0–100) — the y-axis of every figure in
+    /// the paper.  100 when nothing was offered.
+    #[must_use]
+    pub fn acceptance_percentage(&self) -> f64 {
+        if self.offered() == 0 {
+            100.0
+        } else {
+            100.0 * self.accepted() as f64 / self.offered() as f64
+        }
+    }
+
+    /// Overall blocking probability in `[0, 1]`.
+    #[must_use]
+    pub fn blocking_probability(&self) -> f64 {
+        if self.offered() == 0 {
+            0.0
+        } else {
+            self.blocked() as f64 / self.offered() as f64
+        }
+    }
+
+    /// Overall dropping probability among admitted connections.
+    #[must_use]
+    pub fn dropping_probability(&self) -> f64 {
+        if self.accepted() == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 / self.accepted() as f64
+        }
+    }
+
+    /// Mean utilisation over the recorded samples, in `[0, 1]`.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.utilization.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .utilization
+            .iter()
+            .map(|s| {
+                if s.capacity == 0 {
+                    1.0
+                } else {
+                    f64::from(s.occupied) / f64::from(s.capacity)
+                }
+            })
+            .sum();
+        sum / self.utilization.len() as f64
+    }
+
+    /// The recorded utilisation time series.
+    #[must_use]
+    pub fn utilization_samples(&self) -> &[UtilizationSample] {
+        &self.utilization
+    }
+
+    /// Merge another metrics object into this one (for aggregating over
+    /// repeated runs with different seeds).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (dst, src) in self.per_class.iter_mut().zip(&other.per_class) {
+            dst.offered += src.offered;
+            dst.accepted += src.accepted;
+            dst.blocked += src.blocked;
+            dst.dropped += src.dropped;
+            dst.completed += src.completed;
+            dst.bandwidth_admitted += src.bandwidth_admitted;
+        }
+        self.handoff_offered += other.handoff_offered;
+        self.handoff_accepted += other.handoff_accepted;
+        self.handoff_failed += other.handoff_failed;
+        self.utilization.extend_from_slice(&other.utilization);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_defaults() {
+        let m = Metrics::new();
+        assert_eq!(m.offered(), 0);
+        assert_eq!(m.acceptance_percentage(), 100.0);
+        assert_eq!(m.blocking_probability(), 0.0);
+        assert_eq!(m.dropping_probability(), 0.0);
+        assert_eq!(m.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn acceptance_percentage_tracks_counts() {
+        let mut m = Metrics::new();
+        for i in 0..10 {
+            m.record_offered(ServiceClass::Text, false);
+            if i < 7 {
+                m.record_accepted(ServiceClass::Text, 1, false);
+            } else {
+                m.record_blocked(ServiceClass::Text, false);
+            }
+        }
+        assert_eq!(m.offered(), 10);
+        assert_eq!(m.accepted(), 7);
+        assert_eq!(m.blocked(), 3);
+        assert!((m.acceptance_percentage() - 70.0).abs() < 1e-12);
+        assert!((m.blocking_probability() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_ratios() {
+        let mut m = Metrics::new();
+        m.record_offered(ServiceClass::Video, false);
+        m.record_accepted(ServiceClass::Video, 10, false);
+        m.record_offered(ServiceClass::Video, false);
+        m.record_blocked(ServiceClass::Video, false);
+        let v = m.class(ServiceClass::Video);
+        assert_eq!(v.offered, 2);
+        assert!((v.acceptance_ratio() - 0.5).abs() < 1e-12);
+        assert!((v.blocking_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(v.bandwidth_admitted, 10);
+        // Untouched class reports the no-traffic defaults.
+        let t = m.class(ServiceClass::Text);
+        assert_eq!(t.acceptance_ratio(), 1.0);
+        assert_eq!(t.blocking_ratio(), 0.0);
+        assert_eq!(t.dropping_ratio(), 0.0);
+    }
+
+    #[test]
+    fn dropping_probability_counts_admitted_only() {
+        let mut m = Metrics::new();
+        for _ in 0..4 {
+            m.record_offered(ServiceClass::Voice, false);
+            m.record_accepted(ServiceClass::Voice, 5, false);
+        }
+        m.record_dropped(ServiceClass::Voice);
+        m.record_completed(ServiceClass::Voice);
+        assert!((m.dropping_probability() - 0.25).abs() < 1e-12);
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.dropped(), 1);
+        assert!((m.class(ServiceClass::Voice).dropping_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handoff_counters() {
+        let mut m = Metrics::new();
+        m.record_offered(ServiceClass::Voice, true);
+        m.record_accepted(ServiceClass::Voice, 5, true);
+        m.record_offered(ServiceClass::Video, true);
+        m.record_blocked(ServiceClass::Video, true);
+        assert_eq!(m.handoffs(), (2, 1, 1));
+    }
+
+    #[test]
+    fn utilization_mean() {
+        let mut m = Metrics::new();
+        m.record_utilization(0.0, 0, 40);
+        m.record_utilization(1.0, 20, 40);
+        m.record_utilization(2.0, 40, 40);
+        assert!((m.mean_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(m.utilization_samples().len(), 3);
+        // zero capacity counts as fully utilised
+        let mut z = Metrics::new();
+        z.record_utilization(0.0, 0, 0);
+        assert_eq!(z.mean_utilization(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Metrics::new();
+        a.record_offered(ServiceClass::Text, false);
+        a.record_accepted(ServiceClass::Text, 1, false);
+        let mut b = Metrics::new();
+        b.record_offered(ServiceClass::Text, false);
+        b.record_blocked(ServiceClass::Text, false);
+        b.record_utilization(5.0, 10, 40);
+        a.merge(&b);
+        assert_eq!(a.offered(), 2);
+        assert_eq!(a.accepted(), 1);
+        assert_eq!(a.blocked(), 1);
+        assert_eq!(a.utilization_samples().len(), 1);
+        assert!((a.acceptance_percentage() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_admitted_sums() {
+        let mut m = Metrics::new();
+        m.record_offered(ServiceClass::Text, false);
+        m.record_accepted(ServiceClass::Text, 1, false);
+        m.record_offered(ServiceClass::Video, false);
+        m.record_accepted(ServiceClass::Video, 10, false);
+        assert_eq!(m.bandwidth_admitted(), 11);
+    }
+}

@@ -1,0 +1,905 @@
+//! The simulation driver and the admission-controller interface.
+//!
+//! A [`Simulator`] owns a cell grid, one [`BaseStation`] per cell, a traffic
+//! generator and an event queue; it feeds every arriving request to a
+//! pluggable [`AdmissionController`] and records the outcome in
+//! [`Metrics`].  Two driving modes are provided:
+//!
+//! * [`Simulator::run_batch`] — offer a fixed number of requesting
+//!   connections against the (single-cell) base station, the workload shape
+//!   of every figure in the paper's evaluation;
+//! * [`Simulator::run_poisson`] — a full discrete-event run with Poisson
+//!   arrivals, departures, user mobility and handoffs across a multi-cell
+//!   grid (used by the examples that go beyond the paper's single cell).
+
+use crate::event::{EventKind, EventQueue};
+use crate::geometry::{CellGrid, CellId};
+use crate::metrics::Metrics;
+use crate::mobility::{spawn_uniform, MobilityModel, UserState};
+use crate::rng::SimRng;
+use crate::station::BaseStation;
+use crate::traffic::{CallRequest, ServiceClass, TrafficConfig, TrafficGenerator};
+use crate::{Bandwidth, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Everything an admission controller may inspect about a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionRequest {
+    /// Connection id.
+    pub id: u64,
+    /// The cell where the request is made.
+    pub cell: CellId,
+    /// Time of the request (seconds).
+    pub time: SimTime,
+    /// Service class.
+    pub class: ServiceClass,
+    /// Requested bandwidth (BU) — the `Rq` / `Sr` inputs of the FLCs.
+    pub bandwidth: Bandwidth,
+    /// Expected holding time (seconds).
+    pub holding_time: SimTime,
+    /// User speed (km/h) — the `Sp` input of FLC1.
+    pub speed_kmh: f64,
+    /// Angle between the user's heading and the direction to the serving
+    /// base station (degrees) — the `An` input of FLC1.
+    pub angle_deg: f64,
+    /// Distance from the user to the serving base station (metres), when
+    /// known.  The previous-work FACS variant uses this instead of priority.
+    pub distance_m: Option<f64>,
+    /// `true` if the request is a handoff of an on-going connection.
+    pub is_handoff: bool,
+}
+
+impl AdmissionRequest {
+    /// Build an admission request from a generated [`CallRequest`].
+    #[must_use]
+    pub fn from_call(call: &CallRequest, cell: CellId) -> Self {
+        Self {
+            id: call.id,
+            cell,
+            time: call.arrival_time,
+            class: call.class,
+            bandwidth: call.bandwidth,
+            holding_time: call.holding_time,
+            speed_kmh: call.speed_kmh,
+            angle_deg: call.angle_deg,
+            distance_m: None,
+            is_handoff: call.is_handoff,
+        }
+    }
+
+    /// Attach the user-to-station distance.
+    #[must_use]
+    pub fn with_distance(mut self, distance_m: f64) -> Self {
+        self.distance_m = Some(distance_m.max(0.0));
+        self
+    }
+
+    /// `true` for real-time classes (voice, video).
+    #[must_use]
+    pub fn is_real_time(&self) -> bool {
+        self.class.is_real_time()
+    }
+}
+
+/// The outcome of one admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionDecision {
+    /// `true` to admit the connection.
+    pub accept: bool,
+    /// The controller's raw decision score.  For the fuzzy controllers this
+    /// is the defuzzified A/R value in `[-1, 1]`; threshold controllers
+    /// report a load margin.  Only used for reporting and debugging.
+    pub score: f64,
+}
+
+impl AdmissionDecision {
+    /// An accepting decision with the given score.
+    #[must_use]
+    pub fn accept(score: f64) -> Self {
+        Self {
+            accept: true,
+            score,
+        }
+    }
+
+    /// A rejecting decision with the given score.
+    #[must_use]
+    pub fn reject(score: f64) -> Self {
+        Self {
+            accept: false,
+            score,
+        }
+    }
+}
+
+/// A pluggable call-admission-control policy.
+///
+/// The simulator guarantees that `decide` is only consulted for requests
+/// that are *physically* possible to carry (the station still has
+/// `request.bandwidth` BU free); controllers therefore only implement
+/// policy, not capacity enforcement.  Controllers are notified of
+/// admissions and releases so they can maintain internal state (e.g. the
+/// shadow-cluster projections of SCC or the priority counters of FACS-P).
+pub trait AdmissionController {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &str;
+
+    /// Decide whether to admit `request` given the current state of the
+    /// serving `station`.
+    fn decide(&mut self, request: &AdmissionRequest, station: &BaseStation) -> AdmissionDecision;
+
+    /// Called after `request` has been admitted to `station`.
+    fn on_admitted(&mut self, _request: &AdmissionRequest, _station: &BaseStation) {}
+
+    /// Called after connection `connection_id` has left `station`
+    /// (completion, drop or outbound handoff).
+    fn on_released(&mut self, _connection_id: u64, _station: &BaseStation) {}
+}
+
+/// Admits every request that physically fits.  The most permissive possible
+/// policy; useful as an upper bound on acceptance and as a test double.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysAccept;
+
+impl AdmissionController for AlwaysAccept {
+    fn name(&self) -> &str {
+        "always-accept"
+    }
+
+    fn decide(&mut self, _request: &AdmissionRequest, _station: &BaseStation) -> AdmissionDecision {
+        AdmissionDecision::accept(1.0)
+    }
+}
+
+/// Admits a request only while the post-admission utilisation stays at or
+/// below a threshold (a classical guard-channel style policy).
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityThreshold {
+    /// Maximum allowed utilisation in `[0, 1]` for new calls.
+    pub new_call_threshold: f64,
+    /// Maximum allowed utilisation in `[0, 1]` for handoff calls (usually
+    /// higher than `new_call_threshold` to prioritise handoffs).
+    pub handoff_threshold: f64,
+}
+
+impl CapacityThreshold {
+    /// A policy reserving the top `(1 - new_call_threshold)` share of the
+    /// capacity for handoffs.
+    #[must_use]
+    pub fn new(new_call_threshold: f64, handoff_threshold: f64) -> Self {
+        Self {
+            new_call_threshold: new_call_threshold.clamp(0.0, 1.0),
+            handoff_threshold: handoff_threshold.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Default for CapacityThreshold {
+    fn default() -> Self {
+        Self::new(0.8, 1.0)
+    }
+}
+
+impl AdmissionController for CapacityThreshold {
+    fn name(&self) -> &str {
+        "capacity-threshold"
+    }
+
+    fn decide(&mut self, request: &AdmissionRequest, station: &BaseStation) -> AdmissionDecision {
+        let capacity = f64::from(station.capacity()).max(1.0);
+        let after = f64::from(station.occupied() + request.bandwidth) / capacity;
+        let threshold = if request.is_handoff {
+            self.handoff_threshold
+        } else {
+            self.new_call_threshold
+        };
+        let margin = threshold - after;
+        if margin >= 0.0 {
+            AdmissionDecision::accept(margin)
+        } else {
+            AdmissionDecision::reject(margin)
+        }
+    }
+}
+
+/// Static configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Radius of the hexagonal grid in cells (0 = the paper's single cell).
+    pub grid_radius_cells: u32,
+    /// Cell radius in metres.
+    pub cell_radius_m: f64,
+    /// Capacity of every base station (BU).
+    pub station_capacity: Bandwidth,
+    /// Workload parameters.
+    pub traffic: TrafficConfig,
+    /// Mobility model used for admitted users in multi-cell runs.
+    pub mobility: MobilityModel,
+    /// RNG seed.
+    pub seed: u64,
+    /// Interval between utilisation samples (seconds); 0 disables sampling.
+    pub utilization_sample_interval_s: f64,
+}
+
+impl SimConfig {
+    /// The paper's configuration: one 40-BU cell, the 70/20/10 mix and
+    /// speeds of 0–120 km/h.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            grid_radius_cells: 0,
+            cell_radius_m: 1000.0,
+            station_capacity: 40,
+            traffic: TrafficConfig::paper_default(),
+            mobility: MobilityModel::paper_default(),
+            seed: 0xFAC5,
+            utilization_sample_interval_s: 0.0,
+        }
+    }
+
+    /// Override the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the traffic configuration.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Override the station capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: Bandwidth) -> Self {
+        self.station_capacity = capacity;
+        self
+    }
+
+    /// Use a multi-cell grid of the given radius.
+    #[must_use]
+    pub fn with_grid_radius(mut self, radius_cells: u32) -> Self {
+        self.grid_radius_cells = radius_cells;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the admission controller that produced this run.
+    pub controller: String,
+    /// Number of requests offered.
+    pub offered: u64,
+    /// Number of requests accepted.
+    pub accepted: u64,
+    /// Percentage of accepted calls (0–100).
+    pub acceptance_percentage: f64,
+    /// Overall blocking probability.
+    pub blocking_probability: f64,
+    /// Dropping probability among admitted calls.
+    pub dropping_probability: f64,
+    /// Mean station utilisation over the run (only sampled runs).
+    pub mean_utilization: f64,
+    /// Full metric counters.
+    pub metrics: Metrics,
+}
+
+impl SimReport {
+    fn from_metrics(controller: &str, metrics: Metrics) -> Self {
+        Self {
+            controller: controller.to_string(),
+            offered: metrics.offered(),
+            accepted: metrics.accepted(),
+            acceptance_percentage: metrics.acceptance_percentage(),
+            blocking_probability: metrics.blocking_probability(),
+            dropping_probability: metrics.dropping_probability(),
+            mean_utilization: metrics.mean_utilization(),
+            metrics,
+        }
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    config: SimConfig,
+    grid: CellGrid,
+    stations: HashMap<CellId, BaseStation>,
+    users: HashMap<u64, UserState>,
+    queue: EventQueue,
+    metrics: Metrics,
+    clock: SimTime,
+    rng: SimRng,
+}
+
+impl Simulator {
+    /// Build a simulator from a configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        let grid = CellGrid::new(config.grid_radius_cells, config.cell_radius_m);
+        let stations = grid
+            .cells()
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    BaseStation::new(c, grid.center_of(&c), config.station_capacity),
+                )
+            })
+            .collect();
+        let rng = SimRng::new(config.seed).derive(0xD15C);
+        Self {
+            grid,
+            stations,
+            users: HashMap::new(),
+            queue: EventQueue::new(),
+            metrics: Metrics::new(),
+            clock: 0.0,
+            rng,
+            config,
+        }
+    }
+
+    /// The simulator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The cell grid.
+    #[must_use]
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// The station serving `cell`, if it exists.
+    #[must_use]
+    pub fn station(&self, cell: &CellId) -> Option<&BaseStation> {
+        self.stations.get(cell)
+    }
+
+    /// Current simulation time (seconds).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Metrics accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Offer `n` requesting connections (all generated from the configured
+    /// traffic model, all targeting the origin cell, offered in sequence at
+    /// time 0) to `controller` — the workload of the paper's figures.
+    ///
+    /// Admitted connections stay active for their holding time; because all
+    /// requests are offered together, the base-station capacity is the
+    /// binding resource exactly as in the paper's "number of requesting
+    /// connections" sweeps.
+    pub fn run_batch<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        n: usize,
+    ) -> SimReport {
+        let mut generator =
+            TrafficGenerator::new(self.config.traffic.clone(), self.rng.derive(1).seed());
+        let requests = generator.generate_batch(n);
+        self.offer_requests(controller, &requests);
+        SimReport::from_metrics(controller.name(), self.metrics.clone())
+    }
+
+    /// Offer a pre-generated sequence of requests (all against the origin
+    /// cell).  Useful when several controllers must see the *identical*
+    /// arrival sequence, as in the paper's FACS vs. SCC and FACS-P vs. FACS
+    /// comparisons.
+    pub fn offer_requests<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        requests: &[CallRequest],
+    ) {
+        let cell = CellId::origin();
+        for call in requests {
+            self.clock = self.clock.max(call.arrival_time);
+            // Complete any calls that finished before this arrival.
+            self.release_expired(controller, cell);
+            let distance = self
+                .rng
+                .uniform(0.0, self.grid.cell_radius_m())
+                .max(0.0);
+            let request = AdmissionRequest::from_call(call, cell).with_distance(distance);
+            self.offer_one(controller, &request);
+        }
+    }
+
+    /// Run a full Poisson-arrival discrete-event simulation for
+    /// `total_requests` arrivals (multi-cell aware: admitted users move
+    /// according to the mobility model and hand off between cells).
+    pub fn run_poisson<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        total_requests: usize,
+    ) -> SimReport {
+        let mut generator =
+            TrafficGenerator::new(self.config.traffic.clone(), self.rng.derive(2).seed());
+        let arrivals = generator.generate_poisson(total_requests);
+        let mut spawn_rng = self.rng.derive(3);
+
+        for call in &arrivals {
+            // Spawn each user somewhere in the grid.
+            let cell = if self.grid.len() == 1 {
+                CellId::origin()
+            } else {
+                let cells = self.grid.cells();
+                cells[spawn_rng.uniform_u32(0, (cells.len() - 1) as u32) as usize]
+            };
+            self.queue.schedule(
+                call.arrival_time,
+                EventKind::Arrival {
+                    cell,
+                    request: call.clone(),
+                },
+            );
+        }
+        if self.config.utilization_sample_interval_s > 0.0 {
+            let horizon = arrivals.last().map(|c| c.arrival_time).unwrap_or(0.0);
+            let mut t = 0.0;
+            while t <= horizon {
+                self.queue.schedule(t, EventKind::MobilityTick);
+                t += self.config.utilization_sample_interval_s;
+            }
+        }
+
+        while let Some(event) = self.queue.pop() {
+            self.clock = event.time;
+            match event.kind {
+                EventKind::Arrival { cell, request } => {
+                    self.handle_arrival(controller, cell, &request);
+                }
+                EventKind::Departure {
+                    cell,
+                    connection_id,
+                } => {
+                    self.handle_departure(controller, cell, connection_id);
+                }
+                EventKind::Handoff {
+                    from,
+                    to,
+                    connection_id,
+                } => {
+                    self.handle_handoff(controller, from, to, connection_id);
+                }
+                EventKind::MobilityTick => {
+                    for station in self.stations.values() {
+                        self.metrics.record_utilization(
+                            self.clock,
+                            station.occupied(),
+                            station.capacity(),
+                        );
+                    }
+                }
+                EventKind::EndOfSimulation => break,
+            }
+        }
+        SimReport::from_metrics(controller.name(), self.metrics.clone())
+    }
+
+    fn offer_one<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        request: &AdmissionRequest,
+    ) {
+        self.metrics.record_offered(request.class, request.is_handoff);
+        let Some(station) = self.stations.get(&request.cell) else {
+            self.metrics.record_blocked(request.class, request.is_handoff);
+            return;
+        };
+        let physically_fits = station.can_fit(request.bandwidth);
+        let decision = if physically_fits {
+            controller.decide(request, station)
+        } else {
+            AdmissionDecision::reject(-1.0)
+        };
+        if decision.accept && physically_fits {
+            let station = self
+                .stations
+                .get_mut(&request.cell)
+                .expect("station exists: checked above");
+            station
+                .admit(
+                    request.id,
+                    request.class,
+                    request.bandwidth,
+                    request.time,
+                    request.holding_time,
+                    request.is_handoff,
+                )
+                .expect("admission checked via can_fit");
+            self.metrics
+                .record_accepted(request.class, request.bandwidth, request.is_handoff);
+            let station = &self.stations[&request.cell];
+            controller.on_admitted(request, station);
+        } else {
+            self.metrics.record_blocked(request.class, request.is_handoff);
+        }
+    }
+
+    fn release_expired<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        cell: CellId,
+    ) {
+        let Some(station) = self.stations.get_mut(&cell) else {
+            return;
+        };
+        let finished = station.release_expired(self.clock);
+        for conn in finished {
+            self.metrics.record_completed(conn.class);
+            let station = &self.stations[&cell];
+            controller.on_released(conn.id, station);
+        }
+    }
+
+    fn handle_arrival<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        cell: CellId,
+        call: &CallRequest,
+    ) {
+        // Materialise the user's kinematic state so the request's speed and
+        // angle are geometrically consistent.
+        let center = self.grid.center_of(&cell);
+        let mut spawn_rng = self.rng.derive(call.id ^ 0xA11C);
+        let mut user = spawn_uniform(
+            &center,
+            self.grid.cell_radius_m(),
+            (call.speed_kmh, call.speed_kmh),
+            &mut spawn_rng,
+        );
+        // Re-orient the heading so the angle to the base station matches the
+        // sampled request angle.
+        let bearing = user.position.bearing_to(&center);
+        user = UserState::new(user.position, call.speed_kmh, bearing + call.angle_deg);
+        let distance = user.distance_to(&center);
+
+        let request = AdmissionRequest::from_call(call, cell).with_distance(distance);
+        let before_accepted = self.metrics.accepted();
+        self.offer_one(controller, &request);
+        let admitted = self.metrics.accepted() > before_accepted;
+        if !admitted {
+            return;
+        }
+        self.users.insert(call.id, user);
+        // Schedule the departure, and a handoff if the user exits the cell
+        // before the call completes.
+        let departure_at = self.clock + call.holding_time;
+        self.queue.schedule(
+            departure_at,
+            EventKind::Departure {
+                cell,
+                connection_id: call.id,
+            },
+        );
+        self.maybe_schedule_handoff(cell, call.id, departure_at);
+    }
+
+    fn maybe_schedule_handoff(&mut self, cell: CellId, connection_id: u64, departure_at: SimTime) {
+        if self.grid.len() <= 1 {
+            return;
+        }
+        let Some(user) = self.users.get(&connection_id) else {
+            return;
+        };
+        let center = self.grid.center_of(&cell);
+        let Some(exit_in) = user.time_to_exit(&center, self.grid.cell_radius_m()) else {
+            return;
+        };
+        let handoff_at = self.clock + exit_in;
+        if handoff_at >= departure_at {
+            return;
+        }
+        let Some(target) = self.grid.next_cell_along(&cell, user.heading_deg) else {
+            return;
+        };
+        self.queue.schedule(
+            handoff_at,
+            EventKind::Handoff {
+                from: cell,
+                to: target,
+                connection_id,
+            },
+        );
+    }
+
+    fn handle_departure<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        cell: CellId,
+        connection_id: u64,
+    ) {
+        let Some(station) = self.stations.get_mut(&cell) else {
+            return;
+        };
+        if let Ok(conn) = station.release(connection_id) {
+            self.metrics.record_completed(conn.class);
+            self.users.remove(&connection_id);
+            let station = &self.stations[&cell];
+            controller.on_released(connection_id, station);
+        }
+    }
+
+    fn handle_handoff<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        from: CellId,
+        to: CellId,
+        connection_id: u64,
+    ) {
+        // The connection may have already completed or been dropped.
+        let Some(station_from) = self.stations.get_mut(&from) else {
+            return;
+        };
+        let Ok(conn) = station_from.transfer_out(connection_id) else {
+            return;
+        };
+        controller.on_released(connection_id, &self.stations[&from]);
+
+        let Some(user) = self.users.get(&connection_id).copied() else {
+            return;
+        };
+        let target_center = self.grid.center_of(&to);
+        let remaining = (conn.ends_at - self.clock).max(0.0);
+        let request = AdmissionRequest {
+            id: connection_id,
+            cell: to,
+            time: self.clock,
+            class: conn.class,
+            bandwidth: conn.bandwidth,
+            holding_time: remaining,
+            speed_kmh: user.speed_kmh,
+            angle_deg: user.angle_to_station(&target_center),
+            distance_m: Some(user.distance_to(&target_center)),
+            is_handoff: true,
+        };
+        self.metrics.record_offered(request.class, true);
+        let Some(target_station) = self.stations.get(&to) else {
+            self.metrics.record_blocked(request.class, true);
+            self.metrics.record_dropped(request.class);
+            self.users.remove(&connection_id);
+            return;
+        };
+        let fits = target_station.can_fit(request.bandwidth);
+        let decision = if fits {
+            controller.decide(&request, target_station)
+        } else {
+            AdmissionDecision::reject(-1.0)
+        };
+        if decision.accept && fits {
+            let target_station = self.stations.get_mut(&to).expect("checked above");
+            target_station
+                .admit(
+                    connection_id,
+                    request.class,
+                    request.bandwidth,
+                    self.clock,
+                    remaining,
+                    true,
+                )
+                .expect("admission checked via can_fit");
+            self.metrics
+                .record_accepted(request.class, request.bandwidth, true);
+            controller.on_admitted(&request, &self.stations[&to]);
+            // Departure is rescheduled in the new cell; the old departure
+            // event will find the connection gone and become a no-op.
+            self.queue.schedule(
+                conn.ends_at,
+                EventKind::Departure {
+                    cell: to,
+                    connection_id,
+                },
+            );
+            self.maybe_schedule_handoff(to, connection_id, conn.ends_at);
+        } else {
+            // Failed handoff: the on-going call is dropped — the QoS
+            // violation the paper's controllers are designed to avoid.
+            self.metrics.record_blocked(request.class, true);
+            self.metrics.record_dropped(request.class);
+            self.users.remove(&connection_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_accept_fills_the_station() {
+        let mut sim = Simulator::new(SimConfig::paper_default().with_seed(1));
+        let mut controller = AlwaysAccept;
+        let report = sim.run_batch(&mut controller, 100);
+        assert_eq!(report.offered, 100);
+        assert!(report.accepted > 0);
+        // The 40-BU station cannot hold 100 requests averaging 2.7 BU.
+        assert!(report.accepted < 100);
+        let station = sim.station(&CellId::origin()).unwrap();
+        assert!(station.occupied() <= station.capacity());
+        // With AlwaysAccept the only rejections are capacity rejections, so
+        // the station should be nearly full.
+        assert!(station.occupied() >= station.capacity() - 10);
+    }
+
+    #[test]
+    fn small_batches_are_fully_accepted() {
+        let mut sim = Simulator::new(SimConfig::paper_default().with_seed(2));
+        let mut controller = AlwaysAccept;
+        let report = sim.run_batch(&mut controller, 5);
+        assert_eq!(report.offered, 5);
+        assert_eq!(report.accepted, 5);
+        assert_eq!(report.acceptance_percentage, 100.0);
+        assert_eq!(report.blocking_probability, 0.0);
+    }
+
+    #[test]
+    fn batch_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(SimConfig::paper_default().with_seed(seed));
+            let mut controller = AlwaysAccept;
+            sim.run_batch(&mut controller, 60).accepted
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn capacity_threshold_accepts_less_than_always_accept() {
+        let n = 80;
+        let mut sim_a = Simulator::new(SimConfig::paper_default().with_seed(3));
+        let mut always = AlwaysAccept;
+        let a = sim_a.run_batch(&mut always, n);
+
+        let mut sim_t = Simulator::new(SimConfig::paper_default().with_seed(3));
+        let mut threshold = CapacityThreshold::new(0.5, 1.0);
+        let t = sim_t.run_batch(&mut threshold, n);
+
+        assert!(t.accepted <= a.accepted);
+        assert!(t.accepted > 0);
+        // Threshold controller keeps utilisation at or below ~50 %.
+        let station = sim_t.station(&CellId::origin()).unwrap();
+        assert!(station.occupied() <= 20 + 10); // 50% of 40 plus one large call of slack
+    }
+
+    #[test]
+    fn capacity_threshold_scores_sign_matches_decision() {
+        let mut c = CapacityThreshold::default();
+        let station = BaseStation::paper_default();
+        let req = AdmissionRequest {
+            id: 0,
+            cell: CellId::origin(),
+            time: 0.0,
+            class: ServiceClass::Video,
+            bandwidth: 10,
+            holding_time: 60.0,
+            speed_kmh: 50.0,
+            angle_deg: 0.0,
+            distance_m: None,
+            is_handoff: false,
+        };
+        let d = c.decide(&req, &station);
+        assert!(d.accept);
+        assert!(d.score >= 0.0);
+    }
+
+    #[test]
+    fn offer_requests_uses_identical_sequences() {
+        let cfg = SimConfig::paper_default().with_seed(9);
+        let mut gen = TrafficGenerator::new(cfg.traffic.clone(), 99);
+        let requests = gen.generate_batch(50);
+
+        let mut sim_a = Simulator::new(cfg.clone());
+        let mut a = AlwaysAccept;
+        sim_a.offer_requests(&mut a, &requests);
+
+        let mut sim_b = Simulator::new(cfg);
+        let mut b = AlwaysAccept;
+        sim_b.offer_requests(&mut b, &requests);
+
+        assert_eq!(sim_a.metrics().accepted(), sim_b.metrics().accepted());
+        assert_eq!(sim_a.metrics().offered(), 50);
+    }
+
+    #[test]
+    fn poisson_run_single_cell_completes_calls() {
+        let mut cfg = SimConfig::paper_default().with_seed(4);
+        cfg.traffic.mean_interarrival_s = 10.0;
+        cfg.traffic.mean_holding_s = 60.0;
+        cfg.utilization_sample_interval_s = 50.0;
+        let mut sim = Simulator::new(cfg);
+        let mut controller = AlwaysAccept;
+        let report = sim.run_poisson(&mut controller, 200);
+        assert_eq!(report.offered, 200);
+        assert!(report.accepted > 100, "accepted {}", report.accepted);
+        // With arrivals spread over time most admitted calls complete.
+        assert!(report.metrics.completed() > 0);
+        assert!(report.mean_utilization > 0.0);
+        assert_eq!(report.dropping_probability, 0.0); // single cell: no handoffs
+    }
+
+    #[test]
+    fn poisson_run_multi_cell_produces_handoffs() {
+        let mut cfg = SimConfig::paper_default().with_seed(5).with_grid_radius(2);
+        cfg.cell_radius_m = 300.0; // small cells + long calls => handoffs
+        cfg.traffic.mean_interarrival_s = 5.0;
+        cfg.traffic.mean_holding_s = 600.0;
+        cfg.traffic.min_speed_kmh = 60.0;
+        cfg.traffic.max_speed_kmh = 120.0;
+        let mut sim = Simulator::new(cfg);
+        let mut controller = AlwaysAccept;
+        let report = sim.run_poisson(&mut controller, 300);
+        let (offered, accepted, _failed) = report.metrics.handoffs();
+        assert!(offered > 0, "expected some handoffs");
+        assert!(accepted <= offered);
+    }
+
+    #[test]
+    fn controller_hooks_are_invoked() {
+        #[derive(Default)]
+        struct Counting {
+            admitted: usize,
+            released: usize,
+        }
+        impl AdmissionController for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn decide(&mut self, _r: &AdmissionRequest, _s: &BaseStation) -> AdmissionDecision {
+                AdmissionDecision::accept(1.0)
+            }
+            fn on_admitted(&mut self, _r: &AdmissionRequest, _s: &BaseStation) {
+                self.admitted += 1;
+            }
+            fn on_released(&mut self, _id: u64, _s: &BaseStation) {
+                self.released += 1;
+            }
+        }
+        let mut cfg = SimConfig::paper_default().with_seed(6);
+        cfg.traffic.mean_interarrival_s = 20.0;
+        cfg.traffic.mean_holding_s = 30.0;
+        let mut sim = Simulator::new(cfg);
+        let mut controller = Counting::default();
+        let report = sim.run_poisson(&mut controller, 100);
+        assert_eq!(controller.admitted as u64, report.accepted);
+        assert!(controller.released > 0);
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let mut sim = Simulator::new(SimConfig::paper_default().with_seed(8));
+        let mut controller = AlwaysAccept;
+        let report = sim.run_batch(&mut controller, 70);
+        assert_eq!(report.offered, report.accepted + report.metrics.blocked());
+        assert!((report.acceptance_percentage
+            - 100.0 * report.accepted as f64 / report.offered as f64)
+            .abs()
+            < 1e-9);
+        assert_eq!(report.controller, "always-accept");
+    }
+
+    #[test]
+    fn zero_requests_is_a_noop() {
+        let mut sim = Simulator::new(SimConfig::paper_default());
+        let mut controller = AlwaysAccept;
+        let report = sim.run_batch(&mut controller, 0);
+        assert_eq!(report.offered, 0);
+        assert_eq!(report.acceptance_percentage, 100.0);
+    }
+}

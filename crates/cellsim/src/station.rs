@@ -1,0 +1,467 @@
+//! Base stations: capacity bookkeeping and the RTC / NRTC counters.
+//!
+//! A [`BaseStation`] owns a fixed capacity in bandwidth units (the paper
+//! uses 40 BU) and tracks every admitted connection.  It maintains the two
+//! occupancy counters FACS-P needs for its priority handling:
+//!
+//! * **RTC** (Real-Time Counter) — bandwidth currently held by real-time
+//!   connections (voice, video);
+//! * **NRTC** (Non-Real-Time Counter) — bandwidth currently held by
+//!   non-real-time connections (text).
+//!
+//! The station itself never refuses an admission on policy grounds; that is
+//! the controller's job.  It only enforces the physical capacity limit.
+
+use crate::geometry::{CellId, Point};
+use crate::traffic::ServiceClass;
+use crate::{Bandwidth, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors returned by base-station bookkeeping operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StationError {
+    /// Admission would exceed the physical capacity.
+    InsufficientCapacity {
+        /// Bandwidth requested (BU).
+        requested: Bandwidth,
+        /// Bandwidth still free (BU).
+        available: Bandwidth,
+    },
+    /// The connection id is already active on this station.
+    DuplicateConnection {
+        /// The offending connection id.
+        id: u64,
+    },
+    /// The connection id is not active on this station.
+    UnknownConnection {
+        /// The offending connection id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for StationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StationError::InsufficientCapacity {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient capacity: requested {requested} BU, only {available} BU free"
+            ),
+            StationError::DuplicateConnection { id } => {
+                write!(f, "connection {id} is already active")
+            }
+            StationError::UnknownConnection { id } => {
+                write!(f, "connection {id} is not active on this station")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StationError {}
+
+/// An admitted, on-going connection as tracked by a base station.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveConnection {
+    /// Connection id (same id space as [`crate::traffic::CallRequest::id`]).
+    pub id: u64,
+    /// Service class.
+    pub class: ServiceClass,
+    /// Reserved bandwidth (BU).
+    pub bandwidth: Bandwidth,
+    /// Admission time (seconds).
+    pub admitted_at: SimTime,
+    /// Scheduled completion time (seconds).
+    pub ends_at: SimTime,
+    /// `true` if the connection arrived as a handoff from another cell.
+    pub was_handoff: bool,
+}
+
+/// A base station with a fixed capacity in bandwidth units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaseStation {
+    cell: CellId,
+    position: Point,
+    capacity: Bandwidth,
+    connections: HashMap<u64, ActiveConnection>,
+    rtc: Bandwidth,
+    nrtc: Bandwidth,
+    total_admitted: u64,
+    total_released: u64,
+    total_dropped: u64,
+}
+
+impl BaseStation {
+    /// A station for `cell` located at `position` with `capacity` BU.
+    #[must_use]
+    pub fn new(cell: CellId, position: Point, capacity: Bandwidth) -> Self {
+        Self {
+            cell,
+            position,
+            capacity,
+            connections: HashMap::new(),
+            rtc: 0,
+            nrtc: 0,
+            total_admitted: 0,
+            total_released: 0,
+            total_dropped: 0,
+        }
+    }
+
+    /// The paper's single 40-BU base station at the origin.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(CellId::origin(), Point::new(0.0, 0.0), 40)
+    }
+
+    /// The cell this station serves.
+    #[must_use]
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// The station's position.
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Total capacity (BU).
+    #[must_use]
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// Bandwidth currently in use (BU).
+    #[must_use]
+    pub fn occupied(&self) -> Bandwidth {
+        self.rtc + self.nrtc
+    }
+
+    /// Bandwidth still free (BU).
+    #[must_use]
+    pub fn available(&self) -> Bandwidth {
+        self.capacity.saturating_sub(self.occupied())
+    }
+
+    /// Occupancy as a fraction of capacity in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        f64::from(self.occupied()) / f64::from(self.capacity)
+    }
+
+    /// The Counter state `Cs` input of FLC2: the occupied bandwidth in BU.
+    #[must_use]
+    pub fn counter_state(&self) -> Bandwidth {
+        self.occupied()
+    }
+
+    /// Real-Time Counter: bandwidth held by on-going real-time connections.
+    #[must_use]
+    pub fn rtc(&self) -> Bandwidth {
+        self.rtc
+    }
+
+    /// Non-Real-Time Counter: bandwidth held by on-going non-real-time
+    /// connections.
+    #[must_use]
+    pub fn nrtc(&self) -> Bandwidth {
+        self.nrtc
+    }
+
+    /// Number of currently active connections.
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Iterator over the active connections (arbitrary order).
+    pub fn connections(&self) -> impl Iterator<Item = &ActiveConnection> {
+        self.connections.values()
+    }
+
+    /// Look up an active connection.
+    #[must_use]
+    pub fn connection(&self, id: u64) -> Option<&ActiveConnection> {
+        self.connections.get(&id)
+    }
+
+    /// `true` if a request for `bandwidth` BU physically fits right now.
+    #[must_use]
+    pub fn can_fit(&self, bandwidth: Bandwidth) -> bool {
+        bandwidth <= self.available()
+    }
+
+    /// Cumulative number of admitted connections.
+    #[must_use]
+    pub fn total_admitted(&self) -> u64 {
+        self.total_admitted
+    }
+
+    /// Cumulative number of normally completed (released) connections.
+    #[must_use]
+    pub fn total_released(&self) -> u64 {
+        self.total_released
+    }
+
+    /// Cumulative number of dropped connections.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.total_dropped
+    }
+
+    /// Admit a connection, reserving its bandwidth.
+    pub fn admit(
+        &mut self,
+        id: u64,
+        class: ServiceClass,
+        bandwidth: Bandwidth,
+        now: SimTime,
+        holding_time: SimTime,
+        was_handoff: bool,
+    ) -> Result<(), StationError> {
+        if self.connections.contains_key(&id) {
+            return Err(StationError::DuplicateConnection { id });
+        }
+        if !self.can_fit(bandwidth) {
+            return Err(StationError::InsufficientCapacity {
+                requested: bandwidth,
+                available: self.available(),
+            });
+        }
+        if class.is_real_time() {
+            self.rtc += bandwidth;
+        } else {
+            self.nrtc += bandwidth;
+        }
+        self.connections.insert(
+            id,
+            ActiveConnection {
+                id,
+                class,
+                bandwidth,
+                admitted_at: now,
+                ends_at: now + holding_time.max(0.0),
+                was_handoff,
+            },
+        );
+        self.total_admitted += 1;
+        Ok(())
+    }
+
+    /// Release a connection that completed normally, freeing its bandwidth.
+    pub fn release(&mut self, id: u64) -> Result<ActiveConnection, StationError> {
+        let conn = self
+            .connections
+            .remove(&id)
+            .ok_or(StationError::UnknownConnection { id })?;
+        self.subtract(&conn);
+        self.total_released += 1;
+        Ok(conn)
+    }
+
+    /// Remove a connection because it was dropped (e.g. failed handoff) —
+    /// tracked separately from normal completion because call dropping is
+    /// the QoS violation the paper's controllers try to avoid.
+    pub fn drop_connection(&mut self, id: u64) -> Result<ActiveConnection, StationError> {
+        let conn = self
+            .connections
+            .remove(&id)
+            .ok_or(StationError::UnknownConnection { id })?;
+        self.subtract(&conn);
+        self.total_dropped += 1;
+        Ok(conn)
+    }
+
+    /// Remove a connection that is handing off to another cell (neither a
+    /// completion nor a drop from this station's point of view).
+    pub fn transfer_out(&mut self, id: u64) -> Result<ActiveConnection, StationError> {
+        let conn = self
+            .connections
+            .remove(&id)
+            .ok_or(StationError::UnknownConnection { id })?;
+        self.subtract(&conn);
+        Ok(conn)
+    }
+
+    /// Release every connection whose `ends_at` is at or before `now`;
+    /// returns them sorted by completion time.
+    pub fn release_expired(&mut self, now: SimTime) -> Vec<ActiveConnection> {
+        let expired: Vec<u64> = self
+            .connections
+            .values()
+            .filter(|c| c.ends_at <= now)
+            .map(|c| c.id)
+            .collect();
+        let mut out = Vec::with_capacity(expired.len());
+        for id in expired {
+            if let Ok(c) = self.release(id) {
+                out.push(c);
+            }
+        }
+        out.sort_by(|a, b| a.ends_at.total_cmp(&b.ends_at));
+        out
+    }
+
+    fn subtract(&mut self, conn: &ActiveConnection) {
+        if conn.class.is_real_time() {
+            self.rtc = self.rtc.saturating_sub(conn.bandwidth);
+        } else {
+            self.nrtc = self.nrtc.saturating_sub(conn.bandwidth);
+        }
+    }
+}
+
+impl Default for BaseStation {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station() -> BaseStation {
+        BaseStation::paper_default()
+    }
+
+    #[test]
+    fn paper_default_station() {
+        let s = station();
+        assert_eq!(s.capacity(), 40);
+        assert_eq!(s.occupied(), 0);
+        assert_eq!(s.available(), 40);
+        assert_eq!(s.cell(), CellId::origin());
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.counter_state(), 0);
+    }
+
+    #[test]
+    fn admit_reserves_bandwidth_and_updates_counters() {
+        let mut s = station();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 100.0, false).unwrap();
+        s.admit(2, ServiceClass::Text, 1, 0.0, 100.0, false).unwrap();
+        s.admit(3, ServiceClass::Voice, 5, 0.0, 100.0, false).unwrap();
+        assert_eq!(s.occupied(), 16);
+        assert_eq!(s.rtc(), 15);
+        assert_eq!(s.nrtc(), 1);
+        assert_eq!(s.available(), 24);
+        assert_eq!(s.active_connections(), 3);
+        assert_eq!(s.total_admitted(), 3);
+        assert!((s.utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admit_rejects_over_capacity() {
+        let mut s = BaseStation::new(CellId::origin(), Point::default(), 12);
+        s.admit(1, ServiceClass::Video, 10, 0.0, 100.0, false).unwrap();
+        let err = s.admit(2, ServiceClass::Voice, 5, 0.0, 100.0, false).unwrap_err();
+        assert_eq!(
+            err,
+            StationError::InsufficientCapacity {
+                requested: 5,
+                available: 2
+            }
+        );
+        // A text call still fits.
+        s.admit(3, ServiceClass::Text, 1, 0.0, 100.0, false).unwrap();
+        assert_eq!(s.available(), 1);
+    }
+
+    #[test]
+    fn admit_rejects_duplicate_ids() {
+        let mut s = station();
+        s.admit(7, ServiceClass::Text, 1, 0.0, 10.0, false).unwrap();
+        assert_eq!(
+            s.admit(7, ServiceClass::Text, 1, 0.0, 10.0, false).unwrap_err(),
+            StationError::DuplicateConnection { id: 7 }
+        );
+    }
+
+    #[test]
+    fn release_frees_bandwidth() {
+        let mut s = station();
+        s.admit(1, ServiceClass::Voice, 5, 0.0, 60.0, false).unwrap();
+        let conn = s.release(1).unwrap();
+        assert_eq!(conn.bandwidth, 5);
+        assert_eq!(s.occupied(), 0);
+        assert_eq!(s.total_released(), 1);
+        assert_eq!(
+            s.release(1).unwrap_err(),
+            StationError::UnknownConnection { id: 1 }
+        );
+    }
+
+    #[test]
+    fn drop_and_transfer_are_tracked_separately() {
+        let mut s = station();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 60.0, false).unwrap();
+        s.admit(2, ServiceClass::Video, 10, 0.0, 60.0, true).unwrap();
+        s.drop_connection(1).unwrap();
+        s.transfer_out(2).unwrap();
+        assert_eq!(s.total_dropped(), 1);
+        assert_eq!(s.total_released(), 0);
+        assert_eq!(s.occupied(), 0);
+        assert!(s.drop_connection(99).is_err());
+        assert!(s.transfer_out(99).is_err());
+    }
+
+    #[test]
+    fn release_expired_only_removes_finished_calls() {
+        let mut s = station();
+        s.admit(1, ServiceClass::Text, 1, 0.0, 10.0, false).unwrap();
+        s.admit(2, ServiceClass::Text, 1, 0.0, 50.0, false).unwrap();
+        s.admit(3, ServiceClass::Voice, 5, 0.0, 20.0, false).unwrap();
+        let done = s.release_expired(25.0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].id, 1);
+        assert_eq!(done[1].id, 3);
+        assert_eq!(s.active_connections(), 1);
+        assert_eq!(s.occupied(), 1);
+    }
+
+    #[test]
+    fn connection_lookup_and_metadata() {
+        let mut s = station();
+        s.admit(5, ServiceClass::Video, 10, 12.0, 30.0, true).unwrap();
+        let c = s.connection(5).unwrap();
+        assert_eq!(c.admitted_at, 12.0);
+        assert_eq!(c.ends_at, 42.0);
+        assert!(c.was_handoff);
+        assert!(s.connection(6).is_none());
+        assert_eq!(s.connections().count(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_station_is_always_full() {
+        let s = BaseStation::new(CellId::origin(), Point::default(), 0);
+        assert_eq!(s.utilization(), 1.0);
+        assert!(!s.can_fit(1));
+        assert!(s.can_fit(0));
+    }
+
+    #[test]
+    fn negative_holding_time_is_clamped() {
+        let mut s = station();
+        s.admit(1, ServiceClass::Text, 1, 10.0, -5.0, false).unwrap();
+        assert_eq!(s.connection(1).unwrap().ends_at, 10.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StationError::InsufficientCapacity {
+            requested: 10,
+            available: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,450 @@
+//! The FACS and FACS-P admission controllers.
+//!
+//! Both controllers implement [`cellsim::AdmissionController`] so they plug
+//! directly into the simulator:
+//!
+//! * [`FacsController`] — the authors' *previous* system (the comparison
+//!   point of Figs. 7 and 10): FLC1 driven by speed, angle and
+//!   user-to-station distance, FLC2 driven by the physical counter state,
+//!   no priority handling.
+//! * [`FacsPController`] — the *proposed* system: FLC1 driven by speed,
+//!   angle and the requested bandwidth, FLC2 driven by the priority-aware
+//!   effective counter state of [`PriorityPolicy`].
+
+use crate::flc1::{DistanceFlc1, Flc1};
+use crate::flc2::Flc2;
+use crate::params::PaperParams;
+use crate::priority::{PriorityPolicy, RequestPriority};
+use cellsim::sim::{AdmissionController, AdmissionDecision, AdmissionRequest};
+use cellsim::station::BaseStation;
+use fuzzy::Result;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the previous-work FACS controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FacsConfig {
+    /// Base-station capacity the counter-state terms are scaled to (BU).
+    pub capacity_bu: f64,
+    /// Crisp acceptance threshold on the defuzzified A/R value: the request
+    /// is admitted when `A/R > accept_threshold`.  The paper's soft
+    /// decision is collapsed with a threshold of 0 ("weak accept" or
+    /// better admits).
+    pub accept_threshold: f64,
+    /// Distance assumed when a request carries no distance measurement
+    /// (metres).
+    pub default_distance_m: f64,
+}
+
+impl FacsConfig {
+    /// The paper's configuration (40 BU, threshold 0, mid-cell default
+    /// distance).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            capacity_bu: PaperParams::CAPACITY_BU,
+            accept_threshold: 0.0,
+            default_distance_m: PaperParams::DISTANCE_MAX_M / 2.0,
+        }
+    }
+}
+
+impl Default for FacsConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The authors' previous fuzzy admission control system (FACS).
+#[derive(Debug, Clone)]
+pub struct FacsController {
+    flc1: DistanceFlc1,
+    flc2: Flc2,
+    config: FacsConfig,
+}
+
+impl FacsController {
+    /// Build the controller with [`FacsConfig::paper_default`].
+    ///
+    /// # Panics
+    /// Never panics: the paper parameters are statically valid (covered by
+    /// tests); the fallible constructor is [`FacsController::new`].
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(FacsConfig::paper_default()).expect("paper parameters are valid")
+    }
+
+    /// Build the controller from an explicit configuration.
+    pub fn new(config: FacsConfig) -> Result<Self> {
+        Ok(Self {
+            flc1: DistanceFlc1::paper_default()?,
+            flc2: Flc2::with_capacity(config.capacity_bu)?,
+            config,
+        })
+    }
+
+    /// The controller's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FacsConfig {
+        &self.config
+    }
+
+    /// The defuzzified A/R value FACS would produce for a request, given
+    /// the station state (exposed for tests and the benches).
+    #[must_use]
+    pub fn decision_value(&self, request: &AdmissionRequest, station: &BaseStation) -> f64 {
+        let distance = request
+            .distance_m
+            .unwrap_or(self.config.default_distance_m);
+        let cv = self
+            .flc1
+            .correction_value(request.speed_kmh, request.angle_deg, distance);
+        self.flc2
+            .decision_value(cv, f64::from(request.bandwidth), f64::from(station.counter_state()))
+    }
+}
+
+impl AdmissionController for FacsController {
+    fn name(&self) -> &str {
+        "facs"
+    }
+
+    fn decide(&mut self, request: &AdmissionRequest, station: &BaseStation) -> AdmissionDecision {
+        let score = self.decision_value(request, station);
+        if score > self.config.accept_threshold {
+            AdmissionDecision::accept(score)
+        } else {
+            AdmissionDecision::reject(score)
+        }
+    }
+}
+
+/// Configuration of the proposed FACS-P controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FacsPConfig {
+    /// Base-station capacity the counter-state terms are scaled to (BU).
+    pub capacity_bu: f64,
+    /// Crisp acceptance threshold on the defuzzified A/R value.
+    pub accept_threshold: f64,
+    /// The on-going-connection priority policy.
+    pub priority: PriorityPolicy,
+    /// Default priority assigned to requesting connections (the paper's
+    /// future-work extension; `Normal` reproduces the paper).
+    pub request_priority: RequestPriority,
+}
+
+impl FacsPConfig {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            capacity_bu: PaperParams::CAPACITY_BU,
+            accept_threshold: 0.0,
+            priority: PriorityPolicy::paper_default(),
+            request_priority: RequestPriority::Normal,
+        }
+    }
+
+    /// Disable the priority handling (ablation: plain FLC1/FLC2 cascade).
+    #[must_use]
+    pub fn without_priority(mut self) -> Self {
+        self.priority = PriorityPolicy::disabled();
+        self
+    }
+
+    /// Set the priority of requesting connections (future-work extension).
+    #[must_use]
+    pub fn with_request_priority(mut self, priority: RequestPriority) -> Self {
+        self.request_priority = priority;
+        self
+    }
+}
+
+impl Default for FacsPConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The proposed fuzzy admission control system with priority of on-going
+/// connections (FACS-P).
+#[derive(Debug, Clone)]
+pub struct FacsPController {
+    flc1: Flc1,
+    flc2: Flc2,
+    config: FacsPConfig,
+}
+
+impl FacsPController {
+    /// Build the controller with [`FacsPConfig::paper_default`].
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(FacsPConfig::paper_default()).expect("paper parameters are valid")
+    }
+
+    /// Build the controller from an explicit configuration.
+    pub fn new(config: FacsPConfig) -> Result<Self> {
+        let config = FacsPConfig {
+            priority: config.priority.sanitized(),
+            ..config
+        };
+        Ok(Self {
+            flc1: Flc1::paper_default()?,
+            flc2: Flc2::with_capacity(config.capacity_bu)?,
+            config,
+        })
+    }
+
+    /// The controller's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FacsPConfig {
+        &self.config
+    }
+
+    /// FLC1's correction value for a request (exposed for the benches).
+    #[must_use]
+    pub fn correction_value(&self, request: &AdmissionRequest) -> f64 {
+        self.flc1.correction_value(
+            request.speed_kmh,
+            request.angle_deg,
+            f64::from(request.bandwidth),
+        )
+    }
+
+    /// The defuzzified A/R value FACS-P would produce for a request.
+    #[must_use]
+    pub fn decision_value(&self, request: &AdmissionRequest, station: &BaseStation) -> f64 {
+        let cv = self.correction_value(request);
+        let cs = self.config.priority.effective_counter_state_with_request_priority(
+            station,
+            request.is_handoff,
+            self.config.request_priority,
+        );
+        self.flc2
+            .decision_value(cv, f64::from(request.bandwidth), cs)
+    }
+}
+
+impl AdmissionController for FacsPController {
+    fn name(&self) -> &str {
+        "facs-p"
+    }
+
+    fn decide(&mut self, request: &AdmissionRequest, station: &BaseStation) -> AdmissionDecision {
+        let score = self.decision_value(request, station);
+        if score > self.config.accept_threshold {
+            AdmissionDecision::accept(score)
+        } else {
+            AdmissionDecision::reject(score)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellsim::geometry::CellId;
+    use cellsim::sim::{SimConfig, Simulator};
+    use cellsim::traffic::{ServiceClass, TrafficConfig};
+
+    fn request(
+        id: u64,
+        class: ServiceClass,
+        speed: f64,
+        angle: f64,
+        handoff: bool,
+    ) -> AdmissionRequest {
+        AdmissionRequest {
+            id,
+            cell: CellId::origin(),
+            time: 0.0,
+            class,
+            bandwidth: class.paper_bandwidth(),
+            holding_time: 180.0,
+            speed_kmh: speed,
+            angle_deg: angle,
+            distance_m: Some(400.0),
+            is_handoff: handoff,
+        }
+    }
+
+    fn fill_station(station: &mut BaseStation, target_bu: u32) {
+        let mut id = 10_000;
+        while station.occupied() + 5 <= target_bu {
+            station
+                .admit(id, ServiceClass::Voice, 5, 0.0, 600.0, false)
+                .unwrap();
+            id += 1;
+        }
+        while station.occupied() < target_bu {
+            station
+                .admit(id, ServiceClass::Text, 1, 0.0, 600.0, false)
+                .unwrap();
+            id += 1;
+        }
+    }
+
+    #[test]
+    fn controllers_build_with_paper_defaults() {
+        let facs = FacsController::paper_default();
+        let facsp = FacsPController::paper_default();
+        assert_eq!(facs.config().capacity_bu, 40.0);
+        assert_eq!(facsp.config().capacity_bu, 40.0);
+    }
+
+    #[test]
+    fn empty_station_accepts_favourable_requests() {
+        let mut facs = FacsController::paper_default();
+        let mut facsp = FacsPController::paper_default();
+        let station = BaseStation::paper_default();
+        let req = request(1, ServiceClass::Voice, 80.0, 0.0, false);
+        assert!(facs.decide(&req, &station).accept);
+        assert!(facsp.decide(&req, &station).accept);
+    }
+
+    #[test]
+    fn full_station_rejects_everything() {
+        let mut facs = FacsController::paper_default();
+        let mut facsp = FacsPController::paper_default();
+        let mut station = BaseStation::paper_default();
+        fill_station(&mut station, 40);
+        assert_eq!(station.occupied(), 40);
+        let req = request(1, ServiceClass::Text, 100.0, 0.0, false);
+        assert!(!facs.decide(&req, &station).accept);
+        assert!(!facsp.decide(&req, &station).accept);
+    }
+
+    #[test]
+    fn facsp_rejects_new_calls_earlier_than_facs_under_load() {
+        // At moderate occupancy the priority inflation makes FACS-P stricter
+        // with new calls than plain FACS for the same request.
+        let facs = FacsController::paper_default();
+        let facsp = FacsPController::paper_default();
+        let mut station = BaseStation::paper_default();
+        fill_station(&mut station, 20); // all voice => RTC-heavy
+        let req = request(1, ServiceClass::Voice, 60.0, 20.0, false);
+        let facs_score = facs.decision_value(&req, &station);
+        let facsp_score = facsp.decision_value(&req, &station);
+        assert!(
+            facsp_score < facs_score,
+            "facs-p ({facsp_score}) should be stricter than facs ({facs_score})"
+        );
+    }
+
+    #[test]
+    fn facsp_favours_handoffs_of_ongoing_connections() {
+        let mut facsp = FacsPController::paper_default();
+        let mut station = BaseStation::paper_default();
+        fill_station(&mut station, 30);
+        let new_call = request(1, ServiceClass::Voice, 60.0, 10.0, false);
+        let handoff = request(2, ServiceClass::Voice, 60.0, 10.0, true);
+        let new_score = facsp.decision_value(&new_call, &station);
+        let handoff_score = facsp.decision_value(&handoff, &station);
+        assert!(
+            handoff_score > new_score,
+            "handoff ({handoff_score}) should score above new call ({new_score})"
+        );
+        // At this load the handoff is accepted while the new call is not.
+        assert!(facsp.decide(&handoff, &station).accept);
+        assert!(!facsp.decide(&new_call, &station).accept);
+    }
+
+    #[test]
+    fn disabling_priority_removes_the_handoff_advantage() {
+        let plain = FacsPController::new(FacsPConfig::paper_default().without_priority()).unwrap();
+        let mut station = BaseStation::paper_default();
+        fill_station(&mut station, 25);
+        let new_call = request(1, ServiceClass::Voice, 60.0, 10.0, false);
+        let handoff = request(2, ServiceClass::Voice, 60.0, 10.0, true);
+        let d_new = plain.decision_value(&new_call, &station);
+        let d_handoff = plain.decision_value(&handoff, &station);
+        assert!((d_new - d_handoff).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decision_score_sign_matches_accept_flag() {
+        let mut facsp = FacsPController::paper_default();
+        let station = BaseStation::paper_default();
+        for (speed, angle, class) in [
+            (100.0, 0.0, ServiceClass::Text),
+            (5.0, 170.0, ServiceClass::Video),
+            (60.0, 45.0, ServiceClass::Voice),
+        ] {
+            let req = request(7, class, speed, angle, false);
+            let d = facsp.decide(&req, &station);
+            assert_eq!(d.accept, d.score > facsp.config().accept_threshold);
+        }
+    }
+
+    #[test]
+    fn fast_straight_users_are_preferred_over_slow_backward_users() {
+        let facsp = FacsPController::paper_default();
+        let mut station = BaseStation::paper_default();
+        fill_station(&mut station, 18);
+        let good = request(1, ServiceClass::Voice, 110.0, 0.0, false);
+        let bad = request(2, ServiceClass::Voice, 5.0, 175.0, false);
+        assert!(facsp.decision_value(&good, &station) > facsp.decision_value(&bad, &station));
+    }
+
+    #[test]
+    fn high_request_priority_accepts_more_than_low() {
+        let high = FacsPController::new(
+            FacsPConfig::paper_default().with_request_priority(RequestPriority::High),
+        )
+        .unwrap();
+        let low = FacsPController::new(
+            FacsPConfig::paper_default().with_request_priority(RequestPriority::Low),
+        )
+        .unwrap();
+        let mut station = BaseStation::paper_default();
+        fill_station(&mut station, 16);
+        let req = request(1, ServiceClass::Voice, 60.0, 30.0, false);
+        assert!(high.decision_value(&req, &station) >= low.decision_value(&req, &station));
+    }
+
+    #[test]
+    fn simulator_integration_both_controllers() {
+        let mut facs = FacsController::paper_default();
+        let mut sim = Simulator::new(SimConfig::paper_default().with_seed(21));
+        let facs_report = sim.run_batch(&mut facs, 60);
+        assert_eq!(facs_report.controller, "facs");
+        assert!(facs_report.accepted > 0);
+        assert!(facs_report.accepted <= facs_report.offered);
+
+        let mut facsp = FacsPController::paper_default();
+        let mut sim = Simulator::new(SimConfig::paper_default().with_seed(21));
+        let facsp_report = sim.run_batch(&mut facsp, 60);
+        assert_eq!(facsp_report.controller, "facs-p");
+        assert!(facsp_report.accepted > 0);
+    }
+
+    #[test]
+    fn facsp_protects_ongoing_connections_in_handoff_heavy_traffic() {
+        // In a saturated multi-cell network FACS-P should admit handoffs of
+        // on-going connections at a higher rate than brand-new calls: that
+        // is exactly the priority mechanism of the paper.
+        let mut cfg = SimConfig::paper_default()
+            .with_seed(33)
+            .with_grid_radius(1);
+        cfg.cell_radius_m = 250.0;
+        cfg.traffic = TrafficConfig {
+            mean_interarrival_s: 1.5,
+            mean_holding_s: 400.0,
+            min_speed_kmh: 40.0,
+            max_speed_kmh: 120.0,
+            ..TrafficConfig::paper_default()
+        };
+        let mut facsp = FacsPController::paper_default();
+        let mut sim = Simulator::new(cfg);
+        let report = sim.run_poisson(&mut facsp, 600);
+        let (ho_offered, ho_accepted, _) = report.metrics.handoffs();
+        assert!(ho_offered > 20, "expected a handoff-heavy run, got {ho_offered}");
+        let handoff_acceptance = ho_accepted as f64 / ho_offered as f64;
+        let new_offered = report.offered - ho_offered;
+        let new_accepted = report.accepted - ho_accepted;
+        let new_acceptance = new_accepted as f64 / new_offered as f64;
+        assert!(
+            handoff_acceptance > new_acceptance,
+            "handoff acceptance {handoff_acceptance:.3} should exceed new-call acceptance {new_acceptance:.3}"
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! FLC1 — the first fuzzy logic controller of the FACS-P cascade.
+//!
+//! Inputs: user Speed (`Sp`, km/h), user Angle (`An`, degrees relative to
+//! the direction toward the serving base station) and Service request
+//! (`Sr`, bandwidth units).  Output: the Correction value (`Cv` ∈ [0, 1]),
+//! a fuzzy estimate of how worthwhile it is to commit resources to the
+//! user (it encodes how predictable the user's trajectory is and how well
+//! the requested bandwidth fits that prediction).
+//!
+//! [`DistanceFlc1`] is the previous-work variant (used by the FACS
+//! comparison controller): the third input is the user-to-station distance
+//! instead of the service request.
+
+use crate::frb1::{frb1_lookup, frb1_rules};
+use crate::params::PaperParams;
+use fuzzy::engine::MamdaniEngine;
+use fuzzy::rule::{Antecedent, Connective, Consequent, Rule};
+use fuzzy::Result;
+
+/// The proposed system's FLC1: `(Sp, An, Sr) -> Cv`.
+#[derive(Debug, Clone)]
+pub struct Flc1 {
+    engine: MamdaniEngine,
+}
+
+impl Flc1 {
+    /// Build FLC1 with the paper's membership functions (Fig. 5) and the
+    /// 63-rule FRB1 (Table 1).
+    pub fn paper_default() -> Result<Self> {
+        let mut engine = MamdaniEngine::builder()
+            .input(PaperParams::speed_variable()?)
+            .input(PaperParams::angle_variable()?)
+            .input(PaperParams::service_request_variable()?)
+            .output(PaperParams::correction_value_output()?)
+            .build()?;
+        for rule in frb1_rules()? {
+            engine.add_rule(rule)?;
+        }
+        Ok(Self { engine })
+    }
+
+    /// The underlying Mamdani engine (exposed for the ablation benches).
+    #[must_use]
+    pub fn engine(&self) -> &MamdaniEngine {
+        &self.engine
+    }
+
+    /// Compute the correction value for a request.
+    ///
+    /// Inputs are clamped into the paper's universes (speed to
+    /// `[0, 120]` km/h, angle to `[-180, 180]`°, service request to
+    /// `[0, 10]` BU).  The result is always in `[0, 1]`.
+    #[must_use]
+    pub fn correction_value(&self, speed_kmh: f64, angle_deg: f64, service_bu: f64) -> f64 {
+        let inputs = [
+            clamp_or(speed_kmh, 0.0, PaperParams::SPEED_MAX_KMH, 0.0),
+            clamp_or(angle_deg, -PaperParams::ANGLE_MAX_DEG, PaperParams::ANGLE_MAX_DEG, 0.0),
+            clamp_or(service_bu, 0.0, PaperParams::SR_MAX_BU, 1.0),
+        ];
+        match self.engine.infer(&inputs) {
+            Ok(out) => out.crisp_or("Cv", 0.5).clamp(0.0, 1.0),
+            Err(_) => 0.5,
+        }
+    }
+}
+
+/// The previous-work FLC1 used by the FACS comparison controller:
+/// `(Sp, An, Di) -> Cv`, where `Di` is the user-to-station distance.
+///
+/// The previous papers' rule table is not included in the reproduced text,
+/// so the rules are a documented reconstruction: each `(Sp, An)` pair keeps
+/// the structure of Table 1, with the distance terms mapped onto Table 1's
+/// service-request columns — `Near` behaves like `Me` (most favourable),
+/// `Middle` like `Bi`, and `Far` like `Sm` (least favourable) — reflecting
+/// that nearby users are the safest resource commitment.
+#[derive(Debug, Clone)]
+pub struct DistanceFlc1 {
+    engine: MamdaniEngine,
+}
+
+impl DistanceFlc1 {
+    /// Build the distance-based FLC1.
+    pub fn paper_default() -> Result<Self> {
+        let mut engine = MamdaniEngine::builder()
+            .input(PaperParams::speed_variable()?)
+            .input(PaperParams::angle_variable()?)
+            .input(PaperParams::distance_variable()?)
+            .output(PaperParams::correction_value_output()?)
+            .build()?;
+        for rule in distance_frb_rules()? {
+            engine.add_rule(rule)?;
+        }
+        Ok(Self { engine })
+    }
+
+    /// The underlying Mamdani engine.
+    #[must_use]
+    pub fn engine(&self) -> &MamdaniEngine {
+        &self.engine
+    }
+
+    /// Compute the correction value from speed, angle and distance.
+    #[must_use]
+    pub fn correction_value(&self, speed_kmh: f64, angle_deg: f64, distance_m: f64) -> f64 {
+        let inputs = [
+            clamp_or(speed_kmh, 0.0, PaperParams::SPEED_MAX_KMH, 0.0),
+            clamp_or(angle_deg, -PaperParams::ANGLE_MAX_DEG, PaperParams::ANGLE_MAX_DEG, 0.0),
+            clamp_or(distance_m, 0.0, PaperParams::DISTANCE_MAX_M, 500.0),
+        ];
+        match self.engine.infer(&inputs) {
+            Ok(out) => out.crisp_or("Cv", 0.5).clamp(0.0, 1.0),
+            Err(_) => 0.5,
+        }
+    }
+}
+
+/// The reconstructed 63-rule table of the distance-based FLC1:
+/// `Near -> Table 1's Me column`, `Middle -> Bi`, `Far -> Sm`.
+pub fn distance_frb_rules() -> Result<Vec<Rule>> {
+    let mut rules = Vec::with_capacity(63);
+    let mapping = [("Ne", "Me"), ("Md", "Bi"), ("Fr", "Sm")];
+    let mut index = 0usize;
+    for sp in ["Sl", "Mi", "Fa"] {
+        for an in ["B1", "L1", "L2", "St", "R1", "R2", "B2"] {
+            for (di, sr_column) in mapping {
+                let cv = frb1_lookup(sp, an, sr_column)
+                    .expect("Table 1 covers the full grid");
+                let rule = Rule::new(
+                    vec![
+                        Antecedent::is("Sp", sp),
+                        Antecedent::is("An", an),
+                        Antecedent::is("Di", di),
+                    ],
+                    Connective::And,
+                    vec![Consequent::is("Cv", cv)],
+                )?
+                .with_label(format!("FRB1-D rule {index}"));
+                rules.push(rule);
+                index += 1;
+            }
+        }
+    }
+    Ok(rules)
+}
+
+fn clamp_or(value: f64, lo: f64, hi: f64, fallback: f64) -> f64 {
+    if value.is_finite() {
+        value.clamp(lo, hi)
+    } else {
+        fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flc1() -> Flc1 {
+        Flc1::paper_default().unwrap()
+    }
+
+    #[test]
+    fn builds_with_63_rules() {
+        let c = flc1();
+        assert_eq!(c.engine().rules().len(), 63);
+        let d = DistanceFlc1::paper_default().unwrap();
+        assert_eq!(d.engine().rules().len(), 63);
+    }
+
+    #[test]
+    fn output_is_always_in_unit_interval() {
+        let c = flc1();
+        for speed in [0.0, 4.0, 30.0, 60.0, 90.0, 120.0] {
+            for angle in [-180.0, -90.0, -45.0, 0.0, 30.0, 60.0, 90.0, 150.0, 180.0] {
+                for sr in [1.0, 5.0, 10.0] {
+                    let cv = c.correction_value(speed, angle, sr);
+                    assert!((0.0..=1.0).contains(&cv), "cv={cv} at {speed}/{angle}/{sr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straight_fast_users_get_the_best_correction_value() {
+        let c = flc1();
+        let best = c.correction_value(120.0, 0.0, 5.0);
+        assert!(best > 0.8, "Fa/St/Me should be near Cv9, got {best}");
+        let worst = c.correction_value(120.0, 180.0, 10.0);
+        assert!(worst < 0.25, "Fa/B2/Bi should be near Cv1, got {worst}");
+        assert!(best > worst);
+    }
+
+    #[test]
+    fn correction_value_increases_with_speed_when_heading_straight() {
+        // Paper conclusion: "with the increase of the user speed, the
+        // percentage of the number of the accepted calls is increased".
+        let c = flc1();
+        let cv_slow = c.correction_value(4.0, 0.0, 1.0);
+        let cv_mid = c.correction_value(60.0, 0.0, 1.0);
+        let cv_fast = c.correction_value(115.0, 0.0, 1.0);
+        assert!(cv_slow < cv_mid, "{cv_slow} vs {cv_mid}");
+        assert!(cv_mid <= cv_fast + 1e-9, "{cv_mid} vs {cv_fast}");
+    }
+
+    #[test]
+    fn correction_value_decreases_with_angle() {
+        // Paper conclusion: acceptance decreases as the angle grows.
+        let c = flc1();
+        let angles = [0.0, 30.0, 50.0, 60.0, 90.0, 135.0, 180.0];
+        let cvs: Vec<f64> = angles
+            .iter()
+            .map(|&a| c.correction_value(60.0, a, 5.0))
+            .collect();
+        for w in cvs.windows(2) {
+            assert!(
+                w[1] <= w[0] + 0.05,
+                "Cv should not increase with angle: {cvs:?}"
+            );
+        }
+        assert!(cvs[0] > cvs[4], "angle 0 should beat angle 90: {cvs:?}");
+    }
+
+    #[test]
+    fn symmetric_angles_give_symmetric_correction_values() {
+        let c = flc1();
+        for a in [15.0, 45.0, 90.0, 135.0] {
+            let left = c.correction_value(50.0, -a, 5.0);
+            let right = c.correction_value(50.0, a, 5.0);
+            assert!((left - right).abs() < 1e-9, "asymmetry at ±{a}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_clamped() {
+        let c = flc1();
+        let cv = c.correction_value(500.0, 720.0, 50.0);
+        assert!((0.0..=1.0).contains(&cv));
+        let nan = c.correction_value(f64::NAN, f64::INFINITY, f64::NAN);
+        assert!((0.0..=1.0).contains(&nan));
+    }
+
+    #[test]
+    fn distance_variant_prefers_nearby_users() {
+        let d = DistanceFlc1::paper_default().unwrap();
+        let near = d.correction_value(60.0, 0.0, 50.0);
+        let far = d.correction_value(60.0, 0.0, 950.0);
+        assert!(near >= far, "near {near} should be >= far {far}");
+        // Off-straight headings make the difference pronounced.
+        let near_side = d.correction_value(60.0, 45.0, 50.0);
+        let far_side = d.correction_value(60.0, 45.0, 950.0);
+        assert!(near_side > far_side);
+    }
+
+    #[test]
+    fn distance_rules_cover_the_grid() {
+        let rules = distance_frb_rules().unwrap();
+        assert_eq!(rules.len(), 63);
+        let inputs = [
+            PaperParams::speed_variable().unwrap(),
+            PaperParams::angle_variable().unwrap(),
+            PaperParams::distance_variable().unwrap(),
+        ];
+        let rb = fuzzy::RuleBase::from_rules(rules);
+        assert!(rb.uncovered_combinations(&inputs).is_empty());
+    }
+
+    #[test]
+    fn text_requests_from_sideways_users_get_low_cv() {
+        // Table 1 gives small requests away from Straight very low Cv.
+        let c = flc1();
+        let cv = c.correction_value(30.0, 90.0, 1.0);
+        assert!(cv < 0.35, "got {cv}");
+    }
+}

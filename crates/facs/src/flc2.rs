@@ -1,0 +1,250 @@
+//! FLC2 — the second fuzzy logic controller of the FACS-P cascade.
+//!
+//! Inputs: the Correction value produced by FLC1 (`Cv` ∈ [0, 1]), the
+//! Request type (`Rq`, bandwidth units) and the Counter state (`Cs`, the
+//! occupied bandwidth of the base station).  Output: the soft
+//! Accept/Reject decision (`A/R` ∈ [-1, 1]) with linguistic terms
+//! Reject / Weak Reject / Not-Reject-Not-Accept / Weak Accept / Accept.
+
+use crate::frb2::frb2_rules;
+use crate::params::PaperParams;
+use fuzzy::engine::MamdaniEngine;
+use fuzzy::Result;
+
+/// The admission-decision controller: `(Cv, Rq, Cs) -> A/R`.
+#[derive(Debug, Clone)]
+pub struct Flc2 {
+    engine: MamdaniEngine,
+    capacity_bu: f64,
+}
+
+impl Flc2 {
+    /// Build FLC2 with the paper's membership functions (Fig. 6), the
+    /// 27-rule FRB2 (Table 2) and the paper's 40-BU capacity.
+    pub fn paper_default() -> Result<Self> {
+        Self::with_capacity(PaperParams::CAPACITY_BU)
+    }
+
+    /// Build FLC2 for a base station with a different capacity; the counter
+    /// state terms (Small / Middle / Full) scale with it.
+    pub fn with_capacity(capacity_bu: f64) -> Result<Self> {
+        let capacity_bu = if capacity_bu > 0.0 {
+            capacity_bu
+        } else {
+            PaperParams::CAPACITY_BU
+        };
+        let mut engine = MamdaniEngine::builder()
+            .input(PaperParams::correction_value_input()?)
+            .input(PaperParams::request_variable()?)
+            .input(PaperParams::counter_state_variable(capacity_bu)?)
+            .output(PaperParams::accept_reject_output()?)
+            .build()?;
+        for rule in frb2_rules()? {
+            engine.add_rule(rule)?;
+        }
+        Ok(Self {
+            engine,
+            capacity_bu,
+        })
+    }
+
+    /// The capacity (BU) the counter-state terms are scaled to.
+    #[must_use]
+    pub fn capacity_bu(&self) -> f64 {
+        self.capacity_bu
+    }
+
+    /// The underlying Mamdani engine (exposed for the ablation benches).
+    #[must_use]
+    pub fn engine(&self) -> &MamdaniEngine {
+        &self.engine
+    }
+
+    /// Compute the soft accept/reject value in `[-1, 1]`.
+    ///
+    /// * `correction_value` — FLC1's output, clamped to `[0, 1]`.
+    /// * `request_bu` — requested bandwidth, clamped to `[0, 10]` BU.
+    /// * `counter_state_bu` — occupied bandwidth, clamped to
+    ///   `[0, capacity]`.
+    ///
+    /// Positive values lean toward acceptance, negative toward rejection;
+    /// 0 is the "not reject, not accept" midpoint.
+    #[must_use]
+    pub fn decision_value(
+        &self,
+        correction_value: f64,
+        request_bu: f64,
+        counter_state_bu: f64,
+    ) -> f64 {
+        let inputs = [
+            clamp_or(correction_value, 0.0, 1.0, 0.0),
+            clamp_or(request_bu, 0.0, PaperParams::RQ_MAX_BU, 1.0),
+            clamp_or(counter_state_bu, 0.0, self.capacity_bu, self.capacity_bu),
+        ];
+        match self.engine.infer(&inputs) {
+            Ok(out) => out.crisp_or("AR", 0.0).clamp(-1.0, 1.0),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Convenience wrapper: `true` if the decision value exceeds
+    /// `threshold` (the paper's soft decision collapsed to a hard one).
+    #[must_use]
+    pub fn accepts(
+        &self,
+        correction_value: f64,
+        request_bu: f64,
+        counter_state_bu: f64,
+        threshold: f64,
+    ) -> bool {
+        self.decision_value(correction_value, request_bu, counter_state_bu) > threshold
+    }
+}
+
+fn clamp_or(value: f64, lo: f64, hi: f64, fallback: f64) -> f64 {
+    if value.is_finite() {
+        value.clamp(lo, hi)
+    } else {
+        fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flc2() -> Flc2 {
+        Flc2::paper_default().unwrap()
+    }
+
+    #[test]
+    fn builds_with_27_rules_and_paper_capacity() {
+        let c = flc2();
+        assert_eq!(c.engine().rules().len(), 27);
+        assert_eq!(c.capacity_bu(), 40.0);
+        let custom = Flc2::with_capacity(80.0).unwrap();
+        assert_eq!(custom.capacity_bu(), 80.0);
+        let fallback = Flc2::with_capacity(-5.0).unwrap();
+        assert_eq!(fallback.capacity_bu(), 40.0);
+    }
+
+    #[test]
+    fn output_is_always_in_minus_one_one() {
+        let c = flc2();
+        for cv in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for rq in [1.0, 5.0, 10.0] {
+                for cs in [0.0, 10.0, 20.0, 30.0, 40.0] {
+                    let v = c.decision_value(cv, rq, cs);
+                    assert!((-1.0..=1.0).contains(&v), "{cv}/{rq}/{cs} -> {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_station_accepts_everything() {
+        // Every Sa row of Table 2 is A or WA.
+        let c = flc2();
+        for cv in [0.05, 0.5, 0.95] {
+            for rq in [1.0, 5.0, 10.0] {
+                let v = c.decision_value(cv, rq, 0.0);
+                assert!(v > 0.0, "cv={cv} rq={rq} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_station_rejects_everything() {
+        // Every Fu row of Table 2 is NRNA, WR or R.
+        let c = flc2();
+        for cv in [0.05, 0.5, 0.95] {
+            for rq in [1.0, 5.0, 10.0] {
+                let v = c.decision_value(cv, rq, 40.0);
+                assert!(v <= 0.0 + 1e-9, "cv={cv} rq={rq} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn good_cv_accepts_at_half_load_bad_cv_does_not() {
+        let c = flc2();
+        // At the "Middle" counter state (3/4 of the capacity), Table 2
+        // accepts only Good Cv.
+        let good = c.decision_value(0.95, 5.0, 30.0);
+        let bad = c.decision_value(0.05, 5.0, 30.0);
+        assert!(good > 0.0, "good cv at Md should accept, got {good}");
+        assert!(bad <= 1e-9, "bad cv at Md should not accept, got {bad}");
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn decision_is_monotone_in_cv_at_moderate_load() {
+        // Mamdani centroid defuzzification is only piecewise smooth, so we
+        // allow a small tolerance on the pairwise comparison and require a
+        // clear overall increase from the worst to the best Cv.
+        let c = flc2();
+        let values: Vec<f64> = [0.1, 0.3, 0.5, 0.7, 0.9]
+            .iter()
+            .map(|&cv| c.decision_value(cv, 5.0, 30.0))
+            .collect();
+        for w in values.windows(2) {
+            assert!(w[1] >= w[0] - 0.02, "not monotone: {values:?}");
+        }
+        assert!(
+            values.last().unwrap() - values.first().unwrap() > 0.3,
+            "best Cv should clearly beat worst Cv: {values:?}"
+        );
+    }
+
+    #[test]
+    fn decision_decreases_as_station_fills() {
+        let c = flc2();
+        let values: Vec<f64> = [0.0, 10.0, 20.0, 30.0, 40.0]
+            .iter()
+            .map(|&cs| c.decision_value(0.7, 1.0, cs))
+            .collect();
+        for w in values.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "not decreasing: {values:?}");
+        }
+        assert!(values[0] > 0.0);
+        assert!(*values.last().unwrap() <= 0.0);
+    }
+
+    #[test]
+    fn video_at_full_load_with_good_cv_is_a_hard_reject() {
+        // Rule 26: Go Vi Fu -> R.
+        let c = flc2();
+        let v = c.decision_value(1.0, 10.0, 40.0);
+        assert!(v < -0.4, "expected a strong reject, got {v}");
+    }
+
+    #[test]
+    fn accepts_threshold_semantics() {
+        let c = flc2();
+        assert!(c.accepts(0.9, 1.0, 0.0, 0.0));
+        assert!(!c.accepts(0.1, 10.0, 40.0, 0.0));
+        // A higher threshold is stricter.
+        let v = c.decision_value(0.9, 1.0, 15.0);
+        assert!(c.accepts(0.9, 1.0, 15.0, v - 0.01));
+        assert!(!c.accepts(0.9, 1.0, 15.0, v + 0.01));
+    }
+
+    #[test]
+    fn non_finite_inputs_do_not_panic() {
+        let c = flc2();
+        let v = c.decision_value(f64::NAN, f64::INFINITY, f64::NEG_INFINITY);
+        assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn counter_state_scales_with_custom_capacity() {
+        let small = Flc2::with_capacity(40.0).unwrap();
+        let large = Flc2::with_capacity(400.0).unwrap();
+        // 30 BU is "three quarters full" for the small cell but nearly
+        // empty for the large one, so the large cell should be more
+        // willing to accept.
+        let v_small = small.decision_value(0.5, 5.0, 30.0);
+        let v_large = large.decision_value(0.5, 5.0, 30.0);
+        assert!(v_large > v_small);
+    }
+}

@@ -1,0 +1,59 @@
+//! FACS and FACS-P: fuzzy call-admission control for wireless cellular
+//! networks.
+//!
+//! This crate is the primary contribution of the reproduced paper,
+//! *"A Fuzzy-based Call Admission Control Scheme for Wireless Cellular
+//! Networks Considering Priority of On-going Connections"* (Mino, Barolli,
+//! Durresi, Xhafa, Koyama — ICDCS Workshops 2009).  It implements:
+//!
+//! * **FLC1** ([`Flc1`]) — the first fuzzy logic controller: user Speed
+//!   (`Sp`), user Angle (`An`) and Service request (`Sr`) are mapped to a
+//!   Correction value (`Cv`) through the 63-rule FRB1 (Table 1 of the
+//!   paper).
+//! * **FLC2** ([`Flc2`]) — the second controller: `Cv`, the Request type
+//!   (`Rq`) and the Counter state (`Cs`) are mapped to a soft Accept/Reject
+//!   value (`A/R`) through the 27-rule FRB2 (Table 2).
+//! * **FACS-P** ([`FacsPController`]) — the proposed system: the FLC1→FLC2
+//!   cascade plus the priority handling for on-going connections (the
+//!   Differentiated-service classifier and the RTC/NRTC counters that
+//!   inflate the counter state seen by new calls so that admitted — and in
+//!   particular real-time — connections keep their QoS).
+//! * **FACS** ([`FacsController`]) — the authors' previous system (used as
+//!   a comparison point in Figs. 7 and 10): the same cascade but with FLC1
+//!   driven by the user-to-station *distance* instead of the service
+//!   request, and no priority handling.
+//!
+//! Both controllers implement [`cellsim::AdmissionController`], so they
+//! plug directly into the `cellsim` discrete-event simulator and can be
+//! compared against the `scc` baseline.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cellsim::{SimConfig, Simulator};
+//! use facs::FacsPController;
+//!
+//! let mut controller = FacsPController::paper_default();
+//! let mut sim = Simulator::new(SimConfig::paper_default());
+//! let report = sim.run_batch(&mut controller, 30);
+//! println!("accepted {} of {} requests", report.accepted, report.offered);
+//! assert!(report.accepted > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod flc1;
+pub mod flc2;
+pub mod frb1;
+pub mod frb2;
+pub mod params;
+pub mod priority;
+
+pub use controller::{FacsConfig, FacsController, FacsPConfig, FacsPController};
+pub use flc1::{DistanceFlc1, Flc1};
+pub use flc2::Flc2;
+pub use params::PaperParams;
+pub use priority::{DifferentiatedService, PriorityPolicy, RequestPriority};

@@ -1,0 +1,637 @@
+//! The Mamdani inference engine.
+//!
+//! [`MamdaniEngine`] ties together linguistic variables, a rule base, the
+//! t-norm/s-norm pair, the implication method and a defuzzifier — the
+//! "fuzzifier / inference engine / fuzzy rule base / defuzzifier" structure
+//! of Fig. 2 in the paper.
+
+use crate::defuzz::Defuzzifier;
+use crate::error::{FuzzyError, Result};
+use crate::norms::{complement, SNorm, TNorm};
+use crate::rule::{Connective, Rule, RuleBase};
+use crate::set::FuzzySet;
+use crate::variable::LinguisticVariable;
+use crate::DEFAULT_RESOLUTION;
+use serde::{Deserialize, Serialize};
+
+/// How a rule's firing strength is applied to its consequent membership
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Implication {
+    /// Clip the consequent at the firing strength (Mamdani min).
+    #[default]
+    Clip,
+    /// Scale the consequent by the firing strength (Larsen product).
+    Scale,
+}
+
+/// A complete Mamdani fuzzy controller.
+///
+/// Build one with [`MamdaniEngine::builder`], add rules (programmatically or
+/// from text), then call [`MamdaniEngine::infer`] with one crisp value per
+/// declared input variable, in declaration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MamdaniEngine {
+    inputs: Vec<LinguisticVariable>,
+    outputs: Vec<LinguisticVariable>,
+    rules: RuleBase,
+    and_norm: TNorm,
+    or_norm: SNorm,
+    aggregation: SNorm,
+    implication: Implication,
+    defuzzifier: Defuzzifier,
+    resolution: usize,
+}
+
+impl MamdaniEngine {
+    /// Start building an engine.
+    #[must_use]
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The declared input variables, in order.
+    #[must_use]
+    pub fn inputs(&self) -> &[LinguisticVariable] {
+        &self.inputs
+    }
+
+    /// The declared output variables, in order.
+    #[must_use]
+    pub fn outputs(&self) -> &[LinguisticVariable] {
+        &self.outputs
+    }
+
+    /// The rule base.
+    #[must_use]
+    pub fn rules(&self) -> &RuleBase {
+        &self.rules
+    }
+
+    /// The configured defuzzifier.
+    #[must_use]
+    pub fn defuzzifier(&self) -> Defuzzifier {
+        self.defuzzifier
+    }
+
+    /// Add an already-validated rule.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        rule.validate(&self.inputs, &self.outputs)?;
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Parse, validate and add a textual rule.
+    pub fn add_rule_str(&mut self, text: &str) -> Result<()> {
+        let rule = Rule::parse(text)?;
+        self.add_rule(rule)
+    }
+
+    /// Add many textual rules; stops at the first error.
+    pub fn add_rules_str<'a>(&mut self, texts: impl IntoIterator<Item = &'a str>) -> Result<()> {
+        for t in texts {
+            self.add_rule_str(t)?;
+        }
+        Ok(())
+    }
+
+    /// Replace the whole rule base (validating every rule).
+    pub fn set_rules(&mut self, rules: RuleBase) -> Result<()> {
+        rules.validate(&self.inputs, &self.outputs)?;
+        self.rules = rules;
+        Ok(())
+    }
+
+    /// Run one inference with `crisp_inputs[i]` bound to the `i`-th declared
+    /// input variable.
+    pub fn infer(&self, crisp_inputs: &[f64]) -> Result<InferenceOutput> {
+        if crisp_inputs.len() != self.inputs.len() {
+            return Err(FuzzyError::InputArity {
+                expected: self.inputs.len(),
+                got: crisp_inputs.len(),
+            });
+        }
+        if self.rules.is_empty() {
+            return Err(FuzzyError::EmptyEngine { missing: "rules" });
+        }
+        for (v, &x) in self.inputs.iter().zip(crisp_inputs) {
+            if !x.is_finite() {
+                return Err(FuzzyError::NonFiniteInput {
+                    variable: v.name().to_string(),
+                    value: x,
+                });
+            }
+        }
+
+        // Fuzzify every input once.
+        let fuzzified: Vec<Vec<f64>> = self
+            .inputs
+            .iter()
+            .zip(crisp_inputs)
+            .map(|(v, &x)| v.fuzzify(x))
+            .collect();
+
+        // Prepare one empty aggregated set per output variable.
+        let mut aggregated: Vec<FuzzySet> = self
+            .outputs
+            .iter()
+            .map(|o| FuzzySet::empty(o.min(), o.max(), self.resolution))
+            .collect::<Result<_>>()?;
+        let mut strengths = Vec::with_capacity(self.rules.len());
+
+        for rule in self.rules.rules() {
+            let strength = self.firing_strength(rule, &fuzzified)? * rule.weight();
+            strengths.push(strength);
+            if strength == 0.0 {
+                continue;
+            }
+            for consequent in rule.consequents() {
+                let (out_idx, out_var) = self
+                    .outputs
+                    .iter()
+                    .enumerate()
+                    .find(|(_, o)| o.name() == consequent.variable)
+                    .ok_or_else(|| FuzzyError::UnknownVariable {
+                        name: consequent.variable.clone(),
+                    })?;
+                let term = out_var
+                    .term(&consequent.term)
+                    .ok_or_else(|| FuzzyError::UnknownTerm {
+                        variable: consequent.variable.clone(),
+                        term: consequent.term.clone(),
+                    })?;
+                match self.implication {
+                    Implication::Clip => aggregated[out_idx].aggregate_clipped(
+                        term.membership_function(),
+                        strength,
+                        self.aggregation,
+                    ),
+                    Implication::Scale => aggregated[out_idx].aggregate_scaled(
+                        term.membership_function(),
+                        strength,
+                        self.aggregation,
+                    ),
+                }
+            }
+        }
+
+        Ok(InferenceOutput {
+            output_names: self.outputs.iter().map(|o| o.name().to_string()).collect(),
+            aggregated,
+            firing_strengths: strengths,
+            defuzzifier: self.defuzzifier,
+        })
+    }
+
+    /// Convenience wrapper: infer and defuzzify the single output variable.
+    ///
+    /// Returns an error if the engine has more than one output.
+    pub fn infer_single(&self, crisp_inputs: &[f64]) -> Result<f64> {
+        if self.outputs.len() != 1 {
+            return Err(FuzzyError::UnknownOutput {
+                name: format!("<engine has {} outputs, expected 1>", self.outputs.len()),
+            });
+        }
+        let out = self.infer(crisp_inputs)?;
+        out.crisp(self.outputs[0].name())
+    }
+
+    /// Firing strength of a rule given pre-fuzzified inputs.
+    fn firing_strength(&self, rule: &Rule, fuzzified: &[Vec<f64>]) -> Result<f64> {
+        let mut degrees = Vec::with_capacity(rule.antecedents().len());
+        for a in rule.antecedents() {
+            let (var_idx, var) = self
+                .inputs
+                .iter()
+                .enumerate()
+                .find(|(_, v)| v.name() == a.variable)
+                .ok_or_else(|| FuzzyError::UnknownVariable {
+                    name: a.variable.clone(),
+                })?;
+            let term_idx = var
+                .term_index(&a.term)
+                .ok_or_else(|| FuzzyError::UnknownTerm {
+                    variable: a.variable.clone(),
+                    term: a.term.clone(),
+                })?;
+            let mut mu = fuzzified[var_idx][term_idx];
+            if a.negated {
+                mu = complement(mu);
+            }
+            degrees.push(mu);
+        }
+        Ok(match rule.connective() {
+            Connective::And => self.and_norm.fold(&degrees),
+            Connective::Or => self.or_norm.fold(&degrees),
+        })
+    }
+}
+
+/// The result of one inference: the aggregated output set per output
+/// variable plus per-rule firing strengths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutput {
+    output_names: Vec<String>,
+    aggregated: Vec<FuzzySet>,
+    firing_strengths: Vec<f64>,
+    defuzzifier: Defuzzifier,
+}
+
+impl InferenceOutput {
+    /// The aggregated fuzzy set for output variable `name`.
+    pub fn aggregated(&self, name: &str) -> Result<&FuzzySet> {
+        self.index_of(name).map(|i| &self.aggregated[i])
+    }
+
+    /// Defuzzified crisp value for output variable `name` using the engine's
+    /// configured defuzzifier.
+    pub fn crisp(&self, name: &str) -> Result<f64> {
+        let i = self.index_of(name)?;
+        self.defuzzifier.defuzzify(&self.aggregated[i], name)
+    }
+
+    /// Defuzzified crisp value, falling back to `default` if no rule fired.
+    #[must_use]
+    pub fn crisp_or(&self, name: &str, default: f64) -> f64 {
+        match self.index_of(name) {
+            Ok(i) => self.defuzzifier.defuzzify_or(&self.aggregated[i], default),
+            Err(_) => default,
+        }
+    }
+
+    /// Defuzzify with an explicit method (ablation support).
+    pub fn crisp_with(&self, name: &str, method: Defuzzifier) -> Result<f64> {
+        let i = self.index_of(name)?;
+        method.defuzzify(&self.aggregated[i], name)
+    }
+
+    /// Per-rule firing strengths, in rule-base order.
+    #[must_use]
+    pub fn firing_strengths(&self) -> &[f64] {
+        &self.firing_strengths
+    }
+
+    /// Names of the output variables, in declaration order.
+    #[must_use]
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    fn index_of(&self, name: &str) -> Result<usize> {
+        self.output_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| FuzzyError::UnknownOutput {
+                name: name.to_string(),
+            })
+    }
+}
+
+/// Builder for [`MamdaniEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    inputs: Vec<LinguisticVariable>,
+    outputs: Vec<LinguisticVariable>,
+    and_norm: TNorm,
+    or_norm: SNorm,
+    aggregation: SNorm,
+    implication: Implication,
+    defuzzifier: Defuzzifier,
+    resolution: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Declare an input variable (order matters: it defines the order of the
+    /// crisp values passed to [`MamdaniEngine::infer`]).
+    #[must_use]
+    pub fn input(mut self, variable: LinguisticVariable) -> Self {
+        self.inputs.push(variable);
+        self
+    }
+
+    /// Declare an output variable.
+    #[must_use]
+    pub fn output(mut self, variable: LinguisticVariable) -> Self {
+        self.outputs.push(variable);
+        self
+    }
+
+    /// Set the t-norm used for AND antecedents (default: minimum).
+    #[must_use]
+    pub fn and_norm(mut self, norm: TNorm) -> Self {
+        self.and_norm = norm;
+        self
+    }
+
+    /// Set the s-norm used for OR antecedents (default: maximum).
+    #[must_use]
+    pub fn or_norm(mut self, norm: SNorm) -> Self {
+        self.or_norm = norm;
+        self
+    }
+
+    /// Set the s-norm used to aggregate rule outputs (default: maximum).
+    #[must_use]
+    pub fn aggregation(mut self, norm: SNorm) -> Self {
+        self.aggregation = norm;
+        self
+    }
+
+    /// Set the implication method (default: clip / Mamdani min).
+    #[must_use]
+    pub fn implication(mut self, implication: Implication) -> Self {
+        self.implication = implication;
+        self
+    }
+
+    /// Set the defuzzifier (default: centroid).
+    #[must_use]
+    pub fn defuzzifier(mut self, defuzzifier: Defuzzifier) -> Self {
+        self.defuzzifier = defuzzifier;
+        self
+    }
+
+    /// Set the sampling resolution of the aggregated output sets
+    /// (default: [`DEFAULT_RESOLUTION`]).
+    #[must_use]
+    pub fn resolution(mut self, resolution: usize) -> Self {
+        self.resolution = Some(resolution.max(2));
+        self
+    }
+
+    /// Build the engine (without rules; add them afterwards).
+    pub fn build(self) -> Result<MamdaniEngine> {
+        if self.inputs.is_empty() {
+            return Err(FuzzyError::EmptyEngine { missing: "inputs" });
+        }
+        if self.outputs.is_empty() {
+            return Err(FuzzyError::EmptyEngine { missing: "outputs" });
+        }
+        Ok(MamdaniEngine {
+            inputs: self.inputs,
+            outputs: self.outputs,
+            rules: RuleBase::new(),
+            and_norm: self.and_norm,
+            or_norm: self.or_norm,
+            aggregation: self.aggregation,
+            implication: self.implication,
+            defuzzifier: self.defuzzifier,
+            resolution: self.resolution.unwrap_or(DEFAULT_RESOLUTION),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fan_engine() -> MamdaniEngine {
+        let temperature = LinguisticVariable::builder("temperature", 0.0, 40.0)
+            .triangle("Cold", 0.0, 0.0, 20.0)
+            .triangle("Warm", 10.0, 20.0, 30.0)
+            .triangle("Hot", 20.0, 40.0, 40.0)
+            .build()
+            .unwrap();
+        let humidity = LinguisticVariable::builder("humidity", 0.0, 100.0)
+            .triangle("Dry", 0.0, 0.0, 50.0)
+            .triangle("Humid", 50.0, 100.0, 100.0)
+            .build()
+            .unwrap();
+        let fan = LinguisticVariable::builder("fan", 0.0, 100.0)
+            .triangle("Slow", 0.0, 0.0, 50.0)
+            .triangle("Medium", 25.0, 50.0, 75.0)
+            .triangle("Fast", 50.0, 100.0, 100.0)
+            .build()
+            .unwrap();
+        let mut e = MamdaniEngine::builder()
+            .input(temperature)
+            .input(humidity)
+            .output(fan)
+            .build()
+            .unwrap();
+        e.add_rules_str([
+            "IF temperature IS Hot AND humidity IS Humid THEN fan IS Fast",
+            "IF temperature IS Hot AND humidity IS Dry THEN fan IS Medium",
+            "IF temperature IS Warm THEN fan IS Medium",
+            "IF temperature IS Cold THEN fan IS Slow",
+        ])
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn builder_requires_inputs_and_outputs() {
+        assert!(matches!(
+            MamdaniEngine::builder().build(),
+            Err(FuzzyError::EmptyEngine { missing: "inputs" })
+        ));
+        let v = LinguisticVariable::builder("x", 0.0, 1.0)
+            .triangle("t", 0.0, 0.5, 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            MamdaniEngine::builder().input(v).build(),
+            Err(FuzzyError::EmptyEngine { missing: "outputs" })
+        ));
+    }
+
+    #[test]
+    fn infer_requires_matching_arity() {
+        let e = fan_engine();
+        assert!(matches!(
+            e.infer(&[10.0]),
+            Err(FuzzyError::InputArity {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn infer_rejects_non_finite_inputs() {
+        let e = fan_engine();
+        assert!(matches!(
+            e.infer(&[f64::NAN, 50.0]),
+            Err(FuzzyError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn infer_without_rules_errors() {
+        let temperature = LinguisticVariable::builder("t", 0.0, 1.0)
+            .triangle("x", 0.0, 0.5, 1.0)
+            .build()
+            .unwrap();
+        let out = LinguisticVariable::builder("o", 0.0, 1.0)
+            .triangle("y", 0.0, 0.5, 1.0)
+            .build()
+            .unwrap();
+        let e = MamdaniEngine::builder()
+            .input(temperature)
+            .output(out)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            e.infer(&[0.5]),
+            Err(FuzzyError::EmptyEngine { missing: "rules" })
+        ));
+    }
+
+    #[test]
+    fn hot_humid_yields_fast_fan() {
+        let e = fan_engine();
+        let out = e.infer(&[38.0, 90.0]).unwrap();
+        let fan = out.crisp("fan").unwrap();
+        assert!(fan > 70.0, "fan = {fan}");
+    }
+
+    #[test]
+    fn cold_yields_slow_fan() {
+        let e = fan_engine();
+        let out = e.infer(&[2.0, 20.0]).unwrap();
+        let fan = out.crisp("fan").unwrap();
+        assert!(fan < 30.0, "fan = {fan}");
+    }
+
+    #[test]
+    fn warm_yields_medium_fan() {
+        let e = fan_engine();
+        let out = e.infer(&[20.0, 50.0]).unwrap();
+        let fan = out.crisp("fan").unwrap();
+        assert!((fan - 50.0).abs() < 10.0, "fan = {fan}");
+    }
+
+    #[test]
+    fn firing_strengths_are_reported_per_rule() {
+        let e = fan_engine();
+        let out = e.infer(&[38.0, 90.0]).unwrap();
+        assert_eq!(out.firing_strengths().len(), 4);
+        assert!(out.firing_strengths()[0] > 0.5); // Hot & Humid
+        assert_eq!(out.firing_strengths()[3], 0.0); // Cold does not fire
+    }
+
+    #[test]
+    fn add_rule_validates_names() {
+        let mut e = fan_engine();
+        assert!(matches!(
+            e.add_rule_str("IF pressure IS High THEN fan IS Fast"),
+            Err(FuzzyError::UnknownVariable { .. })
+        ));
+        assert!(matches!(
+            e.add_rule_str("IF temperature IS Boiling THEN fan IS Fast"),
+            Err(FuzzyError::UnknownTerm { .. })
+        ));
+        assert!(matches!(
+            e.add_rule_str("IF temperature IS Hot THEN fan IS Ludicrous"),
+            Err(FuzzyError::UnknownTerm { .. })
+        ));
+    }
+
+    #[test]
+    fn infer_single_requires_one_output() {
+        let e = fan_engine();
+        assert!((e.infer_single(&[38.0, 90.0]).unwrap() - e.infer(&[38.0, 90.0]).unwrap().crisp("fan").unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crisp_unknown_output_errors() {
+        let e = fan_engine();
+        let out = e.infer(&[20.0, 50.0]).unwrap();
+        assert!(matches!(
+            out.crisp("nonexistent"),
+            Err(FuzzyError::UnknownOutput { .. })
+        ));
+        assert_eq!(out.crisp_or("nonexistent", -7.0), -7.0);
+    }
+
+    #[test]
+    fn scale_implication_gives_similar_ordering() {
+        let temperature = LinguisticVariable::builder("temperature", 0.0, 40.0)
+            .triangle("Cold", 0.0, 0.0, 20.0)
+            .triangle("Hot", 20.0, 40.0, 40.0)
+            .build()
+            .unwrap();
+        let fan = LinguisticVariable::builder("fan", 0.0, 100.0)
+            .triangle("Slow", 0.0, 0.0, 50.0)
+            .triangle("Fast", 50.0, 100.0, 100.0)
+            .build()
+            .unwrap();
+        let mut clip = MamdaniEngine::builder()
+            .input(temperature.clone())
+            .output(fan.clone())
+            .implication(Implication::Clip)
+            .build()
+            .unwrap();
+        let mut scale = MamdaniEngine::builder()
+            .input(temperature)
+            .output(fan)
+            .implication(Implication::Scale)
+            .build()
+            .unwrap();
+        for e in [&mut clip, &mut scale] {
+            e.add_rules_str([
+                "IF temperature IS Hot THEN fan IS Fast",
+                "IF temperature IS Cold THEN fan IS Slow",
+            ])
+            .unwrap();
+        }
+        let c = clip.infer_single(&[35.0]).unwrap();
+        let s = scale.infer_single(&[35.0]).unwrap();
+        assert!(c > 60.0 && s > 60.0);
+    }
+
+    #[test]
+    fn product_norm_changes_strengths_but_not_direction() {
+        let mut e = fan_engine();
+        let out_min = e.infer(&[30.0, 70.0]).unwrap();
+        e = {
+            let mut b = MamdaniEngine::builder();
+            for v in e.inputs() {
+                b = b.input(v.clone());
+            }
+            for v in e.outputs() {
+                b = b.output(v.clone());
+            }
+            let mut e2 = b.and_norm(TNorm::Product).build().unwrap();
+            e2.set_rules(e.rules().clone()).unwrap();
+            e2
+        };
+        let out_prod = e.infer(&[30.0, 70.0]).unwrap();
+        // Product t-norm never exceeds minimum.
+        for (p, m) in out_prod
+            .firing_strengths()
+            .iter()
+            .zip(out_min.firing_strengths())
+        {
+            assert!(p <= m);
+        }
+    }
+
+    #[test]
+    fn or_connective_fires_when_any_clause_holds() {
+        let temperature = LinguisticVariable::builder("t", 0.0, 40.0)
+            .triangle("Cold", 0.0, 0.0, 20.0)
+            .triangle("Hot", 20.0, 40.0, 40.0)
+            .build()
+            .unwrap();
+        let alarm = LinguisticVariable::builder("alarm", 0.0, 1.0)
+            .triangle("Off", 0.0, 0.0, 0.6)
+            .triangle("On", 0.4, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let mut e = MamdaniEngine::builder()
+            .input(temperature)
+            .output(alarm)
+            .build()
+            .unwrap();
+        e.add_rule_str("IF t IS Cold OR t IS Hot THEN alarm IS On")
+            .unwrap();
+        e.add_rule_str("IF t IS NOT Cold AND t IS NOT Hot THEN alarm IS Off")
+            .unwrap();
+        let extreme = e.infer_single(&[39.0]).unwrap();
+        let mild = e.infer_single(&[20.0]).unwrap();
+        assert!(extreme > 0.6, "extreme = {extreme}");
+        assert!(mild < 0.4, "mild = {mild}");
+    }
+}

@@ -1,0 +1,480 @@
+//! Membership functions.
+//!
+//! The paper (Fig. 3) uses two parametric shapes, called `f(x)` (triangular)
+//! and `g(x)` (trapezoidal with open shoulders), because they are cheap
+//! enough for real-time admission decisions.  This module implements both
+//! under the paper's parameterisation plus a few extra shapes that are used
+//! by the ablation experiments (gaussian, singleton, shoulder ramps).
+
+use crate::clamp_degree;
+use crate::error::{FuzzyError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A parametric membership function `μ(x) -> [0, 1]`.
+///
+/// The paper-facing constructors are [`MembershipFunction::paper_triangular`]
+/// (the `f(x; x0, w0, w1)` of Fig. 3) and
+/// [`MembershipFunction::paper_trapezoidal`] (the `g(x; x0, x1, w0, w1)`).
+/// Generic constructors taking explicit break-points are also provided.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MembershipFunction {
+    /// Triangle with feet at `a` and `c` and peak at `b` (`a <= b <= c`).
+    Triangular {
+        /// Left foot (membership 0).
+        a: f64,
+        /// Peak (membership 1).
+        b: f64,
+        /// Right foot (membership 0).
+        c: f64,
+    },
+    /// Trapezoid with feet at `a`/`d` and plateau between `b` and `c`
+    /// (`a <= b <= c <= d`).
+    Trapezoidal {
+        /// Left foot (membership 0).
+        a: f64,
+        /// Left shoulder of the plateau (membership 1).
+        b: f64,
+        /// Right shoulder of the plateau (membership 1).
+        c: f64,
+        /// Right foot (membership 0).
+        d: f64,
+    },
+    /// Gaussian bell `exp(-(x - mean)^2 / (2 sigma^2))`.
+    Gaussian {
+        /// Centre of the bell (membership 1).
+        mean: f64,
+        /// Standard deviation (`> 0`).
+        sigma: f64,
+    },
+    /// Crisp singleton: membership 1 exactly at `value`, 0 elsewhere.
+    Singleton {
+        /// The single supported point.
+        value: f64,
+    },
+    /// Left shoulder: membership 1 for `x <= full`, falling to 0 at `zero`.
+    LeftShoulder {
+        /// Last point with membership 1.
+        full: f64,
+        /// First point with membership 0 (`zero > full`).
+        zero: f64,
+    },
+    /// Right shoulder: membership 0 for `x <= zero`, rising to 1 at `full`.
+    RightShoulder {
+        /// Last point with membership 0.
+        zero: f64,
+        /// First point with membership 1 (`full > zero`).
+        full: f64,
+    },
+}
+
+impl MembershipFunction {
+    /// Triangle from explicit break-points `a <= b <= c`.
+    pub fn triangular(a: f64, b: f64, c: f64) -> Result<Self> {
+        if !(a.is_finite() && b.is_finite() && c.is_finite()) {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("triangular break-points must be finite, got ({a}, {b}, {c})"),
+            });
+        }
+        if !(a <= b && b <= c) {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("triangular break-points must be ordered a <= b <= c, got ({a}, {b}, {c})"),
+            });
+        }
+        if a == c {
+            return Err(FuzzyError::InvalidMembership {
+                reason: "triangular support must have positive width (a < c)".into(),
+            });
+        }
+        Ok(Self::Triangular { a, b, c })
+    }
+
+    /// Trapezoid from explicit break-points `a <= b <= c <= d`.
+    pub fn trapezoidal(a: f64, b: f64, c: f64, d: f64) -> Result<Self> {
+        if !(a.is_finite() && b.is_finite() && c.is_finite() && d.is_finite()) {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!(
+                    "trapezoidal break-points must be finite, got ({a}, {b}, {c}, {d})"
+                ),
+            });
+        }
+        if !(a <= b && b <= c && c <= d) {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!(
+                    "trapezoidal break-points must be ordered a <= b <= c <= d, got ({a}, {b}, {c}, {d})"
+                ),
+            });
+        }
+        if a == d {
+            return Err(FuzzyError::InvalidMembership {
+                reason: "trapezoidal support must have positive width (a < d)".into(),
+            });
+        }
+        Ok(Self::Trapezoidal { a, b, c, d })
+    }
+
+    /// The paper's triangular function `f(x; x0, w0, w1)` (Fig. 3, left):
+    /// peak at `x0`, left width `w0`, right width `w1`.
+    ///
+    /// Equivalent to [`MembershipFunction::triangular`] with break-points
+    /// `(x0 - w0, x0, x0 + w1)`.
+    pub fn paper_triangular(x0: f64, w0: f64, w1: f64) -> Result<Self> {
+        if w0 < 0.0 || w1 < 0.0 {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("widths must be non-negative, got w0={w0}, w1={w1}"),
+            });
+        }
+        Self::triangular(x0 - w0, x0, x0 + w1)
+    }
+
+    /// The paper's trapezoidal function `g(x; x0, x1, w0, w1)` (Fig. 3,
+    /// right): plateau of membership 1 between `x0` and `x1`, left width
+    /// `w0` below `x0`, right width `w1` above `x1`.
+    ///
+    /// Equivalent to [`MembershipFunction::trapezoidal`] with break-points
+    /// `(x0 - w0, x0, x1, x1 + w1)`.
+    pub fn paper_trapezoidal(x0: f64, x1: f64, w0: f64, w1: f64) -> Result<Self> {
+        if w0 < 0.0 || w1 < 0.0 {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("widths must be non-negative, got w0={w0}, w1={w1}"),
+            });
+        }
+        if x0 > x1 {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("plateau must satisfy x0 <= x1, got x0={x0}, x1={x1}"),
+            });
+        }
+        Self::trapezoidal(x0 - w0, x0, x1, x1 + w1)
+    }
+
+    /// Gaussian bell centred at `mean` with standard deviation `sigma > 0`.
+    pub fn gaussian(mean: f64, sigma: f64) -> Result<Self> {
+        if !mean.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("gaussian requires finite mean and sigma > 0, got ({mean}, {sigma})"),
+            });
+        }
+        Ok(Self::Gaussian { mean, sigma })
+    }
+
+    /// Crisp singleton at `value`.
+    pub fn singleton(value: f64) -> Result<Self> {
+        if !value.is_finite() {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("singleton value must be finite, got {value}"),
+            });
+        }
+        Ok(Self::Singleton { value })
+    }
+
+    /// Left shoulder: full membership up to `full`, zero from `zero` on.
+    pub fn left_shoulder(full: f64, zero: f64) -> Result<Self> {
+        if !(full.is_finite() && zero.is_finite()) || full >= zero {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("left shoulder requires full < zero, got ({full}, {zero})"),
+            });
+        }
+        Ok(Self::LeftShoulder { full, zero })
+    }
+
+    /// Right shoulder: zero membership up to `zero`, full from `full` on.
+    pub fn right_shoulder(zero: f64, full: f64) -> Result<Self> {
+        if !(full.is_finite() && zero.is_finite()) || zero >= full {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("right shoulder requires zero < full, got ({zero}, {full})"),
+            });
+        }
+        Ok(Self::RightShoulder { zero, full })
+    }
+
+    /// Evaluate the membership degree of `x`.
+    ///
+    /// Always returns a value in `[0, 1]`; non-finite `x` yields `0`.
+    #[must_use]
+    pub fn membership(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return 0.0;
+        }
+        let mu = match *self {
+            Self::Triangular { a, b, c } => triangle(x, a, b, c),
+            Self::Trapezoidal { a, b, c, d } => trapezoid(x, a, b, c, d),
+            Self::Gaussian { mean, sigma } => {
+                let z = (x - mean) / sigma;
+                (-0.5 * z * z).exp()
+            }
+            Self::Singleton { value } => {
+                if x == value {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::LeftShoulder { full, zero } => {
+                if x <= full {
+                    1.0
+                } else if x >= zero {
+                    0.0
+                } else {
+                    (zero - x) / (zero - full)
+                }
+            }
+            Self::RightShoulder { zero, full } => {
+                if x <= zero {
+                    0.0
+                } else if x >= full {
+                    1.0
+                } else {
+                    (x - zero) / (full - zero)
+                }
+            }
+        };
+        clamp_degree(mu)
+    }
+
+    /// The support interval `[lo, hi]` outside of which membership is 0.
+    ///
+    /// Shoulders and gaussians have unbounded support on one or both sides;
+    /// for those the returned bounds are `f64::NEG_INFINITY` /
+    /// `f64::INFINITY` on the unbounded side(s) (gaussian support is treated
+    /// as `mean ± 4 sigma`, beyond which membership is below 3.4e-4).
+    #[must_use]
+    pub fn support(&self) -> (f64, f64) {
+        match *self {
+            Self::Triangular { a, c, .. } => (a, c),
+            Self::Trapezoidal { a, d, .. } => (a, d),
+            Self::Gaussian { mean, sigma } => (mean - 4.0 * sigma, mean + 4.0 * sigma),
+            Self::Singleton { value } => (value, value),
+            Self::LeftShoulder { zero, .. } => (f64::NEG_INFINITY, zero),
+            Self::RightShoulder { zero, .. } => (zero, f64::INFINITY),
+        }
+    }
+
+    /// The set of points at which the membership reaches its maximum (the
+    /// *core*), returned as an interval `[lo, hi]`.
+    #[must_use]
+    pub fn core(&self) -> (f64, f64) {
+        match *self {
+            Self::Triangular { b, .. } => (b, b),
+            Self::Trapezoidal { b, c, .. } => (b, c),
+            Self::Gaussian { mean, .. } => (mean, mean),
+            Self::Singleton { value } => (value, value),
+            Self::LeftShoulder { full, .. } => (f64::NEG_INFINITY, full),
+            Self::RightShoulder { full, .. } => (full, f64::INFINITY),
+        }
+    }
+
+    /// A representative crisp value for this term (the midpoint of the core,
+    /// clamped into the given universe). Used by weighted-average
+    /// defuzzification and by height-based shortcuts.
+    #[must_use]
+    pub fn centroid_hint(&self, universe_min: f64, universe_max: f64) -> f64 {
+        let (lo, hi) = self.core();
+        let lo = lo.max(universe_min);
+        let hi = hi.min(universe_max);
+        0.5 * (lo + hi)
+    }
+
+    /// `true` if `x` lies inside the (closed) support of the function.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        let (lo, hi) = self.support();
+        x >= lo && x <= hi
+    }
+}
+
+#[inline]
+fn triangle(x: f64, a: f64, b: f64, c: f64) -> f64 {
+    if x <= a || x >= c {
+        // The peak may sit on a foot (right-angled triangle); handle the
+        // degenerate vertical edge so the peak itself still reports 1.
+        if (x == a && a == b) || (x == c && c == b) {
+            1.0
+        } else {
+            0.0
+        }
+    } else if x == b {
+        1.0
+    } else if x < b {
+        (x - a) / (b - a)
+    } else {
+        (c - x) / (c - b)
+    }
+}
+
+#[inline]
+fn trapezoid(x: f64, a: f64, b: f64, c: f64, d: f64) -> f64 {
+    if x < a || x > d {
+        0.0
+    } else if x >= b && x <= c {
+        1.0
+    } else if x < b {
+        if b == a {
+            1.0
+        } else {
+            (x - a) / (b - a)
+        }
+    } else if d == c {
+        1.0
+    } else {
+        (d - x) / (d - c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangular_peak_and_feet() {
+        let mf = MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap();
+        assert_eq!(mf.membership(5.0), 1.0);
+        assert_eq!(mf.membership(0.0), 0.0);
+        assert_eq!(mf.membership(10.0), 0.0);
+        assert!((mf.membership(2.5) - 0.5).abs() < 1e-12);
+        assert!((mf.membership(7.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_outside_support_is_zero() {
+        let mf = MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap();
+        assert_eq!(mf.membership(-1.0), 0.0);
+        assert_eq!(mf.membership(11.0), 0.0);
+    }
+
+    #[test]
+    fn right_angled_triangle_left_edge() {
+        // Peak at the left foot, as used for "Slow" style terms.
+        let mf = MembershipFunction::triangular(0.0, 0.0, 30.0).unwrap();
+        assert_eq!(mf.membership(0.0), 1.0);
+        assert!((mf.membership(15.0) - 0.5).abs() < 1e-12);
+        assert_eq!(mf.membership(30.0), 0.0);
+    }
+
+    #[test]
+    fn right_angled_triangle_right_edge() {
+        let mf = MembershipFunction::triangular(0.0, 30.0, 30.0).unwrap();
+        assert_eq!(mf.membership(30.0), 1.0);
+        assert!((mf.membership(15.0) - 0.5).abs() < 1e-12);
+        assert_eq!(mf.membership(0.0), 0.0);
+    }
+
+    #[test]
+    fn triangular_rejects_bad_order() {
+        assert!(MembershipFunction::triangular(5.0, 1.0, 10.0).is_err());
+        assert!(MembershipFunction::triangular(0.0, 11.0, 10.0).is_err());
+        assert!(MembershipFunction::triangular(3.0, 3.0, 3.0).is_err());
+        assert!(MembershipFunction::triangular(f64::NAN, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn paper_triangular_matches_explicit() {
+        let paper = MembershipFunction::paper_triangular(30.0, 30.0, 30.0).unwrap();
+        let explicit = MembershipFunction::triangular(0.0, 30.0, 60.0).unwrap();
+        for x in [-10.0, 0.0, 10.0, 30.0, 45.0, 60.0, 70.0] {
+            assert_eq!(paper.membership(x), explicit.membership(x));
+        }
+    }
+
+    #[test]
+    fn paper_triangular_rejects_negative_width() {
+        assert!(MembershipFunction::paper_triangular(0.0, -1.0, 1.0).is_err());
+        assert!(MembershipFunction::paper_triangular(0.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn trapezoidal_plateau() {
+        let mf = MembershipFunction::trapezoidal(0.0, 2.0, 8.0, 10.0).unwrap();
+        assert_eq!(mf.membership(2.0), 1.0);
+        assert_eq!(mf.membership(5.0), 1.0);
+        assert_eq!(mf.membership(8.0), 1.0);
+        assert!((mf.membership(1.0) - 0.5).abs() < 1e-12);
+        assert!((mf.membership(9.0) - 0.5).abs() < 1e-12);
+        assert_eq!(mf.membership(-0.1), 0.0);
+        assert_eq!(mf.membership(10.1), 0.0);
+    }
+
+    #[test]
+    fn trapezoidal_vertical_edges() {
+        let mf = MembershipFunction::trapezoidal(0.0, 0.0, 5.0, 10.0).unwrap();
+        assert_eq!(mf.membership(0.0), 1.0);
+        let mf = MembershipFunction::trapezoidal(0.0, 5.0, 10.0, 10.0).unwrap();
+        assert_eq!(mf.membership(10.0), 1.0);
+    }
+
+    #[test]
+    fn trapezoidal_rejects_bad_order() {
+        assert!(MembershipFunction::trapezoidal(0.0, 3.0, 2.0, 10.0).is_err());
+        assert!(MembershipFunction::trapezoidal(4.0, 3.0, 5.0, 10.0).is_err());
+        assert!(MembershipFunction::trapezoidal(2.0, 2.0, 2.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn paper_trapezoidal_matches_explicit() {
+        let paper = MembershipFunction::paper_trapezoidal(60.0, 120.0, 30.0, 10.0).unwrap();
+        let explicit = MembershipFunction::trapezoidal(30.0, 60.0, 120.0, 130.0).unwrap();
+        for x in [0.0, 30.0, 45.0, 60.0, 100.0, 120.0, 125.0, 130.0, 140.0] {
+            assert_eq!(paper.membership(x), explicit.membership(x));
+        }
+    }
+
+    #[test]
+    fn gaussian_properties() {
+        let mf = MembershipFunction::gaussian(10.0, 2.0).unwrap();
+        assert_eq!(mf.membership(10.0), 1.0);
+        assert!(mf.membership(12.0) < 1.0);
+        assert!((mf.membership(8.0) - mf.membership(12.0)).abs() < 1e-12);
+        assert!(MembershipFunction::gaussian(0.0, 0.0).is_err());
+        assert!(MembershipFunction::gaussian(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn singleton_membership() {
+        let mf = MembershipFunction::singleton(3.5).unwrap();
+        assert_eq!(mf.membership(3.5), 1.0);
+        assert_eq!(mf.membership(3.500001), 0.0);
+        assert!(MembershipFunction::singleton(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn shoulders() {
+        let l = MembershipFunction::left_shoulder(10.0, 20.0).unwrap();
+        assert_eq!(l.membership(5.0), 1.0);
+        assert_eq!(l.membership(10.0), 1.0);
+        assert!((l.membership(15.0) - 0.5).abs() < 1e-12);
+        assert_eq!(l.membership(25.0), 0.0);
+
+        let r = MembershipFunction::right_shoulder(10.0, 20.0).unwrap();
+        assert_eq!(r.membership(5.0), 0.0);
+        assert!((r.membership(15.0) - 0.5).abs() < 1e-12);
+        assert_eq!(r.membership(25.0), 1.0);
+
+        assert!(MembershipFunction::left_shoulder(20.0, 10.0).is_err());
+        assert!(MembershipFunction::right_shoulder(20.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn support_and_core() {
+        let mf = MembershipFunction::trapezoidal(0.0, 2.0, 8.0, 10.0).unwrap();
+        assert_eq!(mf.support(), (0.0, 10.0));
+        assert_eq!(mf.core(), (2.0, 8.0));
+        assert_eq!(mf.centroid_hint(0.0, 10.0), 5.0);
+        assert!(mf.contains(5.0));
+        assert!(!mf.contains(11.0));
+    }
+
+    #[test]
+    fn non_finite_input_yields_zero() {
+        let mf = MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap();
+        assert_eq!(mf.membership(f64::NAN), 0.0);
+        assert_eq!(mf.membership(f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn serde_derives_exist() {
+        fn assert_serialize<T: serde::Serialize>(_: &T) {}
+        fn assert_deserialize<'de, T: serde::Deserialize<'de>>() {}
+        let mf = MembershipFunction::paper_trapezoidal(0.2, 0.4, 0.1, 0.1).unwrap();
+        assert_serialize(&mf);
+        assert_deserialize::<MembershipFunction>();
+    }
+}

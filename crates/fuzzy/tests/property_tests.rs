@@ -1,0 +1,203 @@
+//! Property-based tests for the fuzzy-logic core.
+
+use fuzzy::prelude::*;
+use proptest::prelude::*;
+
+fn sorted3() -> impl Strategy<Value = (f64, f64, f64)> {
+    (-1000.0f64..1000.0, 0.001f64..500.0, 0.001f64..500.0)
+        .prop_map(|(b, w0, w1)| (b - w0, b, b + w1))
+}
+
+fn sorted4() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (-1000.0f64..1000.0, 0.001f64..500.0, 0.0f64..500.0, 0.001f64..500.0)
+        .prop_map(|(b, w0, plateau, w1)| (b - w0, b, b + plateau, b + plateau + w1))
+}
+
+proptest! {
+    #[test]
+    fn triangular_membership_is_bounded((a, b, c) in sorted3(), x in -2000.0f64..2000.0) {
+        let mf = MembershipFunction::triangular(a, b, c).unwrap();
+        let mu = mf.membership(x);
+        prop_assert!((0.0..=1.0).contains(&mu));
+    }
+
+    #[test]
+    fn triangular_peak_is_one((a, b, c) in sorted3()) {
+        let mf = MembershipFunction::triangular(a, b, c).unwrap();
+        prop_assert!((mf.membership(b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_zero_outside_support((a, b, c) in sorted3(), delta in 0.001f64..1000.0) {
+        let mf = MembershipFunction::triangular(a, b, c).unwrap();
+        prop_assert_eq!(mf.membership(a - delta), 0.0);
+        prop_assert_eq!(mf.membership(c + delta), 0.0);
+    }
+
+    #[test]
+    fn triangular_monotone_on_each_side((a, b, c) in sorted3(), t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let mf = MembershipFunction::triangular(a, b, c).unwrap();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        // rising edge
+        let x1 = a + lo * (b - a);
+        let x2 = a + hi * (b - a);
+        prop_assert!(mf.membership(x1) <= mf.membership(x2) + 1e-9);
+        // falling edge
+        let y1 = b + lo * (c - b);
+        let y2 = b + hi * (c - b);
+        prop_assert!(mf.membership(y1) + 1e-9 >= mf.membership(y2));
+    }
+
+    #[test]
+    fn trapezoidal_membership_is_bounded((a, b, c, d) in sorted4(), x in -2000.0f64..2000.0) {
+        let mf = MembershipFunction::trapezoidal(a, b, c, d).unwrap();
+        let mu = mf.membership(x);
+        prop_assert!((0.0..=1.0).contains(&mu));
+    }
+
+    #[test]
+    fn trapezoidal_plateau_is_one((a, b, c, d) in sorted4(), t in 0.0f64..1.0) {
+        let mf = MembershipFunction::trapezoidal(a, b, c, d).unwrap();
+        let x = b + t * (c - b);
+        prop_assert!((mf.membership(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tnorm_never_exceeds_operands(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        for t in [TNorm::Minimum, TNorm::Product, TNorm::Lukasiewicz, TNorm::Drastic, TNorm::Hamacher] {
+            let v = t.apply(a, b);
+            prop_assert!(v <= a.min(b) + 1e-12);
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn snorm_never_below_operands(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        for s in [SNorm::Maximum, SNorm::ProbabilisticSum, SNorm::BoundedSum, SNorm::Drastic] {
+            let v = s.apply(a, b);
+            prop_assert!(v >= a.max(b) - 1e-12);
+            prop_assert!(v <= 1.0);
+        }
+    }
+
+    #[test]
+    fn norm_duality_de_morgan(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        // min/max and product/probabilistic-sum are dual under complement:
+        // S(a,b) = 1 - T(1-a, 1-b)
+        let pairs = [
+            (TNorm::Minimum, SNorm::Maximum),
+            (TNorm::Product, SNorm::ProbabilisticSum),
+            (TNorm::Lukasiewicz, SNorm::BoundedSum),
+        ];
+        for (t, s) in pairs {
+            let lhs = s.apply(a, b);
+            let rhs = 1.0 - t.apply(1.0 - a, 1.0 - b);
+            prop_assert!((lhs - rhs).abs() < 1e-9, "{:?}/{:?}: {} vs {}", t, s, lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn fuzzify_degrees_always_bounded(x in -500.0f64..500.0) {
+        let v = LinguisticVariable::builder("speed", 0.0, 120.0)
+            .triangle("Slow", 0.0, 0.0, 60.0)
+            .triangle("Middle", 30.0, 60.0, 90.0)
+            .trapezoid("Fast", 60.0, 120.0, 120.0, 120.0)
+            .build()
+            .unwrap();
+        for mu in v.fuzzify(x) {
+            prop_assert!((0.0..=1.0).contains(&mu));
+        }
+    }
+
+    #[test]
+    fn centroid_stays_inside_universe(peak in 0.05f64..0.95, height in 0.05f64..1.0) {
+        let mf = MembershipFunction::triangular(peak - 0.05, peak, peak + 0.05).unwrap();
+        let mut set = FuzzySet::empty(0.0, 1.0, 301).unwrap();
+        set.aggregate_clipped(&mf, height, SNorm::Maximum);
+        let c = Defuzzifier::Centroid.defuzzify(&set, "x").unwrap();
+        prop_assert!(c >= 0.0 && c <= 1.0);
+        // the centroid should be near the (symmetric) peak
+        prop_assert!((c - peak).abs() < 0.05, "centroid {} vs peak {}", c, peak);
+    }
+
+    #[test]
+    fn defuzzifiers_are_ordered_som_mom_lom(
+        peak in 0.1f64..0.9,
+        height in 0.1f64..0.9,
+    ) {
+        let mf = MembershipFunction::triangular((peak - 0.1).max(0.0), peak, (peak + 0.1).min(1.0)).unwrap();
+        let mut set = FuzzySet::empty(0.0, 1.0, 501).unwrap();
+        set.aggregate_clipped(&mf, height, SNorm::Maximum);
+        let som = Defuzzifier::SmallestOfMaxima.defuzzify(&set, "x").unwrap();
+        let mom = Defuzzifier::MeanOfMaxima.defuzzify(&set, "x").unwrap();
+        let lom = Defuzzifier::LargestOfMaxima.defuzzify(&set, "x").unwrap();
+        prop_assert!(som <= mom + 1e-9);
+        prop_assert!(mom <= lom + 1e-9);
+    }
+
+    #[test]
+    fn engine_output_always_within_output_universe(t in 0.0f64..40.0, h in 0.0f64..100.0) {
+        let temperature = LinguisticVariable::builder("temperature", 0.0, 40.0)
+            .triangle("Cold", 0.0, 0.0, 20.0)
+            .triangle("Warm", 10.0, 20.0, 30.0)
+            .triangle("Hot", 20.0, 40.0, 40.0)
+            .build()
+            .unwrap();
+        let humidity = LinguisticVariable::builder("humidity", 0.0, 100.0)
+            .triangle("Dry", 0.0, 0.0, 50.0)
+            .triangle("Humid", 50.0, 100.0, 100.0)
+            .build()
+            .unwrap();
+        let fan = LinguisticVariable::builder("fan", 0.0, 100.0)
+            .triangle("Slow", 0.0, 0.0, 50.0)
+            .triangle("Medium", 25.0, 50.0, 75.0)
+            .triangle("Fast", 50.0, 100.0, 100.0)
+            .build()
+            .unwrap();
+        let mut e = MamdaniEngine::builder()
+            .input(temperature)
+            .input(humidity)
+            .output(fan)
+            .build()
+            .unwrap();
+        e.add_rules_str([
+            "IF temperature IS Hot AND humidity IS Humid THEN fan IS Fast",
+            "IF temperature IS Hot AND humidity IS Dry THEN fan IS Medium",
+            "IF temperature IS Warm THEN fan IS Medium",
+            "IF temperature IS Cold THEN fan IS Slow",
+        ]).unwrap();
+        let out = e.infer(&[t, h]).unwrap();
+        let fan_speed = out.crisp_or("fan", 50.0);
+        prop_assert!(fan_speed >= 0.0 && fan_speed <= 100.0);
+    }
+
+    #[test]
+    fn rule_display_parse_roundtrip(
+        var_idx in 0usize..3,
+        term_idx in 0usize..3,
+        out_idx in 0usize..3,
+        negated in proptest::bool::ANY,
+    ) {
+        let vars = ["Sp", "An", "Sr"];
+        let terms = ["Low", "Mid", "High"];
+        let outs = ["Cv1", "Cv5", "Cv9"];
+        let a = if negated {
+            Antecedent::is_not(vars[var_idx], terms[term_idx])
+        } else {
+            Antecedent::is(vars[var_idx], terms[term_idx])
+        };
+        let rule = Rule::new(vec![a], Connective::And,
+            vec![fuzzy::rule::Consequent::is("Cv", outs[out_idx])]).unwrap();
+        let reparsed = Rule::parse(&rule.to_string()).unwrap();
+        prop_assert_eq!(rule, reparsed);
+    }
+
+    #[test]
+    fn fuzzy_set_area_matches_height_bound(height in 0.0f64..=1.0) {
+        let mf = MembershipFunction::trapezoidal(0.0, 0.2, 0.8, 1.0).unwrap();
+        let mut set = FuzzySet::empty(0.0, 1.0, 401).unwrap();
+        set.aggregate_clipped(&mf, height, SNorm::Maximum);
+        // area can never exceed height * width of universe
+        prop_assert!(set.area() <= height * 1.0 + 1e-9);
+    }
+}

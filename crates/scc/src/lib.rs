@@ -1,0 +1,56 @@
+//! Shadow Cluster Concept (SCC) call-admission baseline.
+//!
+//! This crate implements the resource-estimation and call-admission
+//! algorithm of Levine, Akyildiz and Naghshineh, *"A Resource Estimation and
+//! Call Admission Algorithm for Wireless Multimedia Networks Using the
+//! Shadow Cluster Concept"* (IEEE/ACM ToN 1997) — the baseline the FACS
+//! paper compares against in its Fig. 7.
+//!
+//! # The algorithm in brief
+//!
+//! Every admitted mobile exerts an "influence" on the cells around its
+//! current location and along its direction of travel: its **shadow
+//! cluster**.  The influence on a cell is the probability that the mobile
+//! will be active *in that cell* during a future time slot, multiplied by
+//! its bandwidth demand.  Each base station sums these probabilistic
+//! demands over all mobiles whose shadow cluster covers it; the resulting
+//! per-slot *projected load* is the amount of bandwidth the station must
+//! keep available for on-going calls that may hand in.  A new call request
+//! is admitted only if, for every cell of its tentative shadow cluster and
+//! every future slot, the already-projected load plus the tentative call's
+//! own projected demand stays within the cell's capacity budget.
+//!
+//! # What is configurable
+//!
+//! The FACS paper gives no SCC parameters, so [`SccConfig`] exposes the
+//! knobs of the published algorithm (cluster radius, number/duration of
+//! time slots, the call-survival model) plus the new-call reservation
+//! margin that makes SCC deny new requests to protect predicted handoff
+//! demand.  The defaults are the values used for the Fig. 7 reproduction
+//! and are documented in `DESIGN.md`.
+//!
+//! ```
+//! use cellsim::{AdmissionController, BaseStation, SimConfig, Simulator};
+//! use scc::{SccAdmission, SccConfig};
+//!
+//! let mut controller = SccAdmission::new(SccConfig::default());
+//! let mut sim = Simulator::new(SimConfig::paper_default());
+//! let report = sim.run_batch(&mut controller, 40);
+//! assert!(report.accepted > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod admission;
+pub mod cluster;
+pub mod config;
+pub mod estimator;
+pub mod projection;
+
+pub use admission::SccAdmission;
+pub use cluster::ShadowCluster;
+pub use config::SccConfig;
+pub use estimator::LoadEstimator;
+pub use projection::{project_demand, CellProbability};

@@ -1,0 +1,53 @@
+//! Side-by-side comparison of every admission policy on the paper's
+//! workload — a miniature version of Figs. 7 and 10 that runs in a couple
+//! of seconds.
+//!
+//! ```text
+//! cargo run --release --example compare_controllers
+//! ```
+
+use facs_suite::prelude::*;
+
+/// Offer the *same* pre-generated arrival sequence to a controller and
+/// report its acceptance percentage.
+fn acceptance_on(requests: &[CallRequest], controller: &mut dyn AdmissionController) -> f64 {
+    let mut sim = Simulator::new(SimConfig::paper_default().with_seed(1));
+    sim.offer_requests(controller, requests);
+    sim.metrics().acceptance_percentage()
+}
+
+fn main() {
+    println!("Identical arrival sequences offered to every controller (40-BU cell)\n");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>10}  {:>14}",
+        "requests", "FACS-P", "FACS", "SCC", "always-accept"
+    );
+
+    for n in [10usize, 25, 50, 75, 100] {
+        // One shared arrival sequence per load level so the comparison is
+        // paired, exactly like the paper's Fig. 7 / Fig. 10 methodology.
+        let traffic = TrafficConfig {
+            mean_interarrival_s: 450.0 / n as f64,
+            handoff_fraction: 0.3,
+            direction_predictability: 1.0,
+            ..TrafficConfig::paper_default()
+        };
+        let mut generator = TrafficGenerator::new(traffic, 42 + n as u64);
+        let requests = generator.generate_poisson(n);
+
+        let facs_p = acceptance_on(&requests, &mut FacsPController::paper_default());
+        let facs = acceptance_on(&requests, &mut FacsController::paper_default());
+        let scc = acceptance_on(&requests, &mut SccAdmission::new(SccConfig::paper_default()));
+        let always = acceptance_on(&requests, &mut AlwaysAccept);
+
+        println!(
+            "{n:>10}  {facs_p:>9.1}%  {facs:>9.1}%  {scc:>9.1}%  {always:>13.1}%"
+        );
+    }
+
+    println!(
+        "\nFACS-P trades new-call acceptance under load for protection of on-going \
+         connections; run `cargo run -p facs-bench --bin all_figures` for the full \
+         reproduction of the paper's figures."
+    );
+}

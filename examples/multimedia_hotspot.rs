@@ -1,0 +1,80 @@
+//! Multimedia hotspot scenario: a single congested cell with a shifting
+//! traffic mix.
+//!
+//! ```text
+//! cargo run --release --example multimedia_hotspot
+//! ```
+//!
+//! The paper's evaluation fixes the traffic mix at 70 % text / 20 % voice /
+//! 10 % video.  This example sweeps the share of video traffic in a single
+//! 40-BU cell (think of a stadium hotspot where everyone starts streaming)
+//! and shows how FACS-P's acceptance and per-class fairness respond, and
+//! how the priority of requesting connections (the paper's future-work
+//! extension) changes the picture for an "emergency" slice of traffic.
+
+use facs_suite::prelude::*;
+
+fn sweep_mix(video_share: f64) -> SimReport {
+    let text = (1.0 - video_share) * 0.78;
+    let voice = (1.0 - video_share) * 0.22;
+    let mix = TrafficMix::new(text, voice, video_share);
+    let traffic = TrafficConfig {
+        mix,
+        mean_interarrival_s: 6.0,
+        mean_holding_s: 180.0,
+        ..TrafficConfig::paper_default()
+    };
+    let config = SimConfig::paper_default()
+        .with_seed(0xBEEF)
+        .with_traffic(traffic);
+    let mut controller = FacsPController::paper_default();
+    let mut sim = Simulator::new(config);
+    sim.run_poisson(&mut controller, 600)
+}
+
+fn main() {
+    println!("Multimedia hotspot: one 40-BU cell, 600 requests, growing video share\n");
+    println!(
+        "{:>12}  {:>10}  {:>8}  {:>8}  {:>8}",
+        "video share", "accepted", "text %", "voice %", "video %"
+    );
+    for video_share in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let report = sweep_mix(video_share);
+        println!(
+            "{:>11.0}%  {:>9.1}%  {:>7.1}%  {:>7.1}%  {:>7.1}%",
+            100.0 * video_share,
+            report.acceptance_percentage,
+            100.0 * report.metrics.class(ServiceClass::Text).acceptance_ratio(),
+            100.0 * report.metrics.class(ServiceClass::Voice).acceptance_ratio(),
+            100.0 * report.metrics.class(ServiceClass::Video).acceptance_ratio(),
+        );
+    }
+
+    // Future-work extension: a high-priority slice of requesting
+    // connections (e.g. emergency calls) sees a discounted counter state.
+    println!("\nRequest-priority extension (video-heavy load, 30% video):");
+    for (label, priority) in [
+        ("low priority", RequestPriority::Low),
+        ("normal", RequestPriority::Normal),
+        ("high priority", RequestPriority::High),
+    ] {
+        let traffic = TrafficConfig {
+            mix: TrafficMix::new(0.5, 0.2, 0.3),
+            mean_interarrival_s: 6.0,
+            mean_holding_s: 180.0,
+            ..TrafficConfig::paper_default()
+        };
+        let config = SimConfig::paper_default()
+            .with_seed(0xBEEF)
+            .with_traffic(traffic);
+        let mut controller =
+            FacsPController::new(FacsPConfig::paper_default().with_request_priority(priority))
+                .expect("paper parameters are valid");
+        let mut sim = Simulator::new(config);
+        let report = sim.run_poisson(&mut controller, 600);
+        println!(
+            "  {label:<14} accepted {:>5.1}%",
+            report.acceptance_percentage
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Facade crate for the FACS-P reproduction.
+//!
+//! This crate re-exports the whole workspace under one roof so examples,
+//! integration tests and downstream users can depend on a single package:
+//!
+//! * [`fuzzy`] — the general-purpose Mamdani fuzzy-logic library;
+//! * [`cellsim`] — the discrete-event wireless cellular network simulator;
+//! * [`scc`] — the Shadow Cluster Concept admission baseline;
+//! * [`facs`] — the FACS and FACS-P fuzzy admission controllers (the
+//!   paper's contribution).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use facs_suite::prelude::*;
+//!
+//! let mut controller = FacsPController::paper_default();
+//! let mut sim = Simulator::new(SimConfig::paper_default());
+//! let report = sim.run_batch(&mut controller, 30);
+//! assert!(report.accepted > 0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the `facs-bench`
+//! crate for the binaries that regenerate every figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cellsim;
+pub use facs;
+pub use fuzzy;
+pub use scc;
+
+/// Commonly used types from every crate in the workspace.
+pub mod prelude {
+    pub use cellsim::{
+        AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, BaseStation,
+        CallRequest, CapacityThreshold, CellGrid, CellId, Metrics, MobilityModel, Point,
+        ServiceClass, SimConfig, SimReport, SimRng, Simulator, TrafficGenerator, TrafficMix,
+        UserState,
+    };
+    pub use cellsim::traffic::TrafficConfig;
+    pub use facs::{
+        DifferentiatedService, FacsConfig, FacsController, FacsPConfig, FacsPController, Flc1,
+        Flc2, PaperParams, PriorityPolicy, RequestPriority,
+    };
+    pub use fuzzy::prelude::*;
+    pub use scc::{SccAdmission, SccConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_quickstart_runs() {
+        let mut controller = FacsPController::paper_default();
+        let mut sim = Simulator::new(SimConfig::paper_default());
+        let report = sim.run_batch(&mut controller, 30);
+        assert_eq!(report.offered, 30);
+        assert!(report.accepted > 0);
+    }
+}
