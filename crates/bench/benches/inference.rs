@@ -41,11 +41,7 @@ fn bench_flc1(c: &mut Criterion) {
     let flc1 = Flc1::paper_default().unwrap();
     c.bench_function("flc1/correction_value", |b| {
         b.iter(|| {
-            black_box(flc1.correction_value(
-                black_box(63.0),
-                black_box(27.0),
-                black_box(5.0),
-            ))
+            black_box(flc1.correction_value(black_box(63.0), black_box(27.0), black_box(5.0)))
         })
     });
 }
@@ -53,9 +49,7 @@ fn bench_flc1(c: &mut Criterion) {
 fn bench_flc2(c: &mut Criterion) {
     let flc2 = Flc2::paper_default().unwrap();
     c.bench_function("flc2/decision_value", |b| {
-        b.iter(|| {
-            black_box(flc2.decision_value(black_box(0.7), black_box(5.0), black_box(23.0)))
-        })
+        b.iter(|| black_box(flc2.decision_value(black_box(0.7), black_box(5.0), black_box(23.0))))
     });
 }
 

@@ -23,13 +23,17 @@ fn bench_batch_runs(c: &mut Criterion) {
         ControllerKind::FacsP,
         ControllerKind::Scc,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            b.iter(|| {
-                let mut controller = kind.build();
-                let mut sim = Simulator::new(SimConfig::paper_default().with_seed(3));
-                black_box(sim.run_batch(controller.as_mut(), 100))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut controller = kind.build();
+                    let mut sim = Simulator::new(SimConfig::paper_default().with_seed(3));
+                    black_box(sim.run_batch(controller.as_mut(), 100))
+                })
+            },
+        );
     }
     group.finish();
 }

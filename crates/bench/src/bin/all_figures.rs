@@ -25,8 +25,16 @@ fn main() {
 
     let figures = [
         ("fig7", "Fig. 7 — FACS vs. SCC", fig7_series(&cfg)),
-        ("fig8", "Fig. 8 — FACS-P for different user speeds", fig8_series(&cfg)),
-        ("fig9", "Fig. 9 — FACS-P for different user angles", fig9_series(&cfg)),
+        (
+            "fig8",
+            "Fig. 8 — FACS-P for different user speeds",
+            fig8_series(&cfg),
+        ),
+        (
+            "fig9",
+            "Fig. 9 — FACS-P for different user angles",
+            fig9_series(&cfg),
+        ),
         ("fig10", "Fig. 10 — FACS-P vs. FACS", fig10_series(&cfg)),
     ];
     for (id, title, series) in &figures {

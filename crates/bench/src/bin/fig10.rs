@@ -14,6 +14,12 @@ fn main() {
         ExperimentConfig::paper_default()
     };
     let series = fig10_series(&cfg);
-    println!("{}", render_table("Fig. 10 — percentage of accepted calls: FACS-P vs. FACS", &series));
+    println!(
+        "{}",
+        render_table(
+            "Fig. 10 — percentage of accepted calls: FACS-P vs. FACS",
+            &series
+        )
+    );
     println!("{}", series_to_json("fig10", &series));
 }

@@ -14,6 +14,12 @@ fn main() {
         ExperimentConfig::paper_default()
     };
     let series = fig7_series(&cfg);
-    println!("{}", render_table("Fig. 7 — percentage of accepted calls: FACS vs. SCC", &series));
+    println!(
+        "{}",
+        render_table(
+            "Fig. 7 — percentage of accepted calls: FACS vs. SCC",
+            &series
+        )
+    );
     println!("{}", series_to_json("fig7", &series));
 }

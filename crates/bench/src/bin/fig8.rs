@@ -14,6 +14,12 @@ fn main() {
         ExperimentConfig::paper_default()
     };
     let series = fig8_series(&cfg);
-    println!("{}", render_table("Fig. 8 — FACS-P acceptance for different user speeds", &series));
+    println!(
+        "{}",
+        render_table(
+            "Fig. 8 — FACS-P acceptance for different user speeds",
+            &series
+        )
+    );
     println!("{}", series_to_json("fig8", &series));
 }

@@ -14,6 +14,12 @@ fn main() {
         ExperimentConfig::paper_default()
     };
     let series = fig9_series(&cfg);
-    println!("{}", render_table("Fig. 9 — FACS-P acceptance for different user angles", &series));
+    println!(
+        "{}",
+        render_table(
+            "Fig. 9 — FACS-P acceptance for different user angles",
+            &series
+        )
+    );
     println!("{}", series_to_json("fig9", &series));
 }

@@ -233,7 +233,9 @@ pub fn acceptance_curve(
 /// behaviour only matters when there is on-going traffic to protect.
 #[must_use]
 pub fn fig7_series(cfg: &ExperimentConfig) -> Vec<FigureSeries> {
-    let cfg = cfg.clone().with_handoff_fraction(cfg.handoff_fraction.max(0.3));
+    let cfg = cfg
+        .clone()
+        .with_handoff_fraction(cfg.handoff_fraction.max(0.3));
     vec![
         acceptance_curve(ControllerKind::Facs, &cfg, None, None),
         acceptance_curve(ControllerKind::Scc, &cfg, None, None),
@@ -272,7 +274,9 @@ pub fn fig9_series(cfg: &ExperimentConfig) -> Vec<FigureSeries> {
 /// workload with on-going (handoff) traffic.
 #[must_use]
 pub fn fig10_series(cfg: &ExperimentConfig) -> Vec<FigureSeries> {
-    let cfg = cfg.clone().with_handoff_fraction(cfg.handoff_fraction.max(0.35));
+    let cfg = cfg
+        .clone()
+        .with_handoff_fraction(cfg.handoff_fraction.max(0.35));
     vec![
         acceptance_curve(ControllerKind::FacsP, &cfg, None, None),
         acceptance_curve(ControllerKind::Facs, &cfg, None, None),
@@ -364,7 +368,10 @@ mod tests {
         let s = acceptance_curve(ControllerKind::FacsP, &tiny(), None, None);
         let low = s.value_at(10).unwrap();
         let high = s.value_at(60).unwrap();
-        assert!(low >= high, "acceptance should not increase with load: {s:?}");
+        assert!(
+            low >= high,
+            "acceptance should not increase with load: {s:?}"
+        );
         assert!(low > 80.0, "light load should be mostly accepted: {low}");
     }
 

@@ -228,7 +228,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match q.pop().unwrap().kind {
-            EventKind::Handoff { from, to, connection_id } => {
+            EventKind::Handoff {
+                from,
+                to,
+                connection_id,
+            } => {
                 assert_eq!(from, CellId::new(0, 0));
                 assert_eq!(to, CellId::new(1, 0));
                 assert_eq!(connection_id, 9);

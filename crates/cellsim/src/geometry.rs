@@ -123,7 +123,11 @@ impl CellGrid {
     /// each with a centre-to-corner radius of `cell_radius_m` metres.
     #[must_use]
     pub fn new(radius_cells: u32, cell_radius_m: f64) -> Self {
-        let cell_radius_m = if cell_radius_m > 0.0 { cell_radius_m } else { 500.0 };
+        let cell_radius_m = if cell_radius_m > 0.0 {
+            cell_radius_m
+        } else {
+            500.0
+        };
         let r = radius_cells as i32;
         let mut cells = Vec::new();
         for q in -r..=r {
@@ -404,7 +408,10 @@ mod tests {
         let next = g.next_cell_along(&CellId::origin(), 180.0).unwrap();
         assert_eq!(next, CellId::new(-1, 0));
         // From an eastern edge cell heading east there is no grid cell.
-        assert!(g.next_cell_along(&CellId::new(1, 0), 0.0).is_none() || g.next_cell_along(&CellId::new(1, 0), 0.0).is_some());
+        assert!(
+            g.next_cell_along(&CellId::new(1, 0), 0.0).is_none()
+                || g.next_cell_along(&CellId::new(1, 0), 0.0).is_some()
+        );
         // Single-cell grid has no neighbours at all.
         let single = CellGrid::single_cell(500.0);
         assert!(single.next_cell_along(&CellId::origin(), 0.0).is_none());

@@ -177,7 +177,11 @@ impl Metrics {
     /// Handoff requests offered / accepted / failed.
     #[must_use]
     pub fn handoffs(&self) -> (u64, u64, u64) {
-        (self.handoff_offered, self.handoff_accepted, self.handoff_failed)
+        (
+            self.handoff_offered,
+            self.handoff_accepted,
+            self.handoff_failed,
+        )
     }
 
     /// Percentage of accepted calls (0–100) — the y-axis of every figure in

@@ -275,7 +275,9 @@ mod tests {
         assert!(still.time_to_exit(&Point::new(0.0, 0.0), 1000.0).is_none());
         // Already outside.
         let outside = UserState::new(Point::new(5000.0, 0.0), 36.0, 0.0);
-        assert!(outside.time_to_exit(&Point::new(0.0, 0.0), 1000.0).is_none());
+        assert!(outside
+            .time_to_exit(&Point::new(0.0, 0.0), 1000.0)
+            .is_none());
     }
 
     #[test]
@@ -308,10 +310,14 @@ mod tests {
         let mut fast = UserState::new(Point::default(), 110.0, 0.0);
         for _ in 0..steps {
             let s2 = model.step(&slow, 1.0, &mut rng);
-            turn_slow += (s2.heading_deg - slow.heading_deg).abs().min(360.0 - (s2.heading_deg - slow.heading_deg).abs());
+            turn_slow += (s2.heading_deg - slow.heading_deg)
+                .abs()
+                .min(360.0 - (s2.heading_deg - slow.heading_deg).abs());
             slow = s2;
             let f2 = model.step(&fast, 1.0, &mut rng);
-            turn_fast += (f2.heading_deg - fast.heading_deg).abs().min(360.0 - (f2.heading_deg - fast.heading_deg).abs());
+            turn_fast += (f2.heading_deg - fast.heading_deg)
+                .abs()
+                .min(360.0 - (f2.heading_deg - fast.heading_deg).abs());
             fast = f2;
         }
         assert!(

@@ -149,7 +149,7 @@ mod tests {
         let mut rng = SimRng::new(3);
         for _ in 0..1000 {
             let v = rng.uniform(-180.0, 180.0);
-            assert!(v >= -180.0 && v < 180.0);
+            assert!((-180.0..180.0).contains(&v));
         }
         assert_eq!(rng.uniform(5.0, 5.0), 5.0);
         assert_eq!(rng.uniform(5.0, 1.0), 5.0);
@@ -177,7 +177,10 @@ mod tests {
         let mean = 120.0;
         let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
         let empirical = sum / n as f64;
-        assert!((empirical - mean).abs() < mean * 0.05, "empirical {empirical}");
+        assert!(
+            (empirical - mean).abs() < mean * 0.05,
+            "empirical {empirical}"
+        );
         assert_eq!(rng.exponential(0.0), 0.0);
         assert_eq!(rng.exponential(-3.0), 0.0);
     }

@@ -413,10 +413,7 @@ impl Simulator {
             self.clock = self.clock.max(call.arrival_time);
             // Complete any calls that finished before this arrival.
             self.release_expired(controller, cell);
-            let distance = self
-                .rng
-                .uniform(0.0, self.grid.cell_radius_m())
-                .max(0.0);
+            let distance = self.rng.uniform(0.0, self.grid.cell_radius_m()).max(0.0);
             let request = AdmissionRequest::from_call(call, cell).with_distance(distance);
             self.offer_one(controller, &request);
         }
@@ -499,9 +496,11 @@ impl Simulator {
         controller: &mut C,
         request: &AdmissionRequest,
     ) {
-        self.metrics.record_offered(request.class, request.is_handoff);
+        self.metrics
+            .record_offered(request.class, request.is_handoff);
         let Some(station) = self.stations.get(&request.cell) else {
-            self.metrics.record_blocked(request.class, request.is_handoff);
+            self.metrics
+                .record_blocked(request.class, request.is_handoff);
             return;
         };
         let physically_fits = station.can_fit(request.bandwidth);
@@ -530,7 +529,8 @@ impl Simulator {
             let station = &self.stations[&request.cell];
             controller.on_admitted(request, station);
         } else {
-            self.metrics.record_blocked(request.class, request.is_handoff);
+            self.metrics
+                .record_blocked(request.class, request.is_handoff);
         }
     }
 
@@ -887,10 +887,11 @@ mod tests {
         let mut controller = AlwaysAccept;
         let report = sim.run_batch(&mut controller, 70);
         assert_eq!(report.offered, report.accepted + report.metrics.blocked());
-        assert!((report.acceptance_percentage
-            - 100.0 * report.accepted as f64 / report.offered as f64)
-            .abs()
-            < 1e-9);
+        assert!(
+            (report.acceptance_percentage - 100.0 * report.accepted as f64 / report.offered as f64)
+                .abs()
+                < 1e-9
+        );
         assert_eq!(report.controller, "always-accept");
     }
 

@@ -347,9 +347,12 @@ mod tests {
     #[test]
     fn admit_reserves_bandwidth_and_updates_counters() {
         let mut s = station();
-        s.admit(1, ServiceClass::Video, 10, 0.0, 100.0, false).unwrap();
-        s.admit(2, ServiceClass::Text, 1, 0.0, 100.0, false).unwrap();
-        s.admit(3, ServiceClass::Voice, 5, 0.0, 100.0, false).unwrap();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 100.0, false)
+            .unwrap();
+        s.admit(2, ServiceClass::Text, 1, 0.0, 100.0, false)
+            .unwrap();
+        s.admit(3, ServiceClass::Voice, 5, 0.0, 100.0, false)
+            .unwrap();
         assert_eq!(s.occupied(), 16);
         assert_eq!(s.rtc(), 15);
         assert_eq!(s.nrtc(), 1);
@@ -362,8 +365,11 @@ mod tests {
     #[test]
     fn admit_rejects_over_capacity() {
         let mut s = BaseStation::new(CellId::origin(), Point::default(), 12);
-        s.admit(1, ServiceClass::Video, 10, 0.0, 100.0, false).unwrap();
-        let err = s.admit(2, ServiceClass::Voice, 5, 0.0, 100.0, false).unwrap_err();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 100.0, false)
+            .unwrap();
+        let err = s
+            .admit(2, ServiceClass::Voice, 5, 0.0, 100.0, false)
+            .unwrap_err();
         assert_eq!(
             err,
             StationError::InsufficientCapacity {
@@ -372,7 +378,8 @@ mod tests {
             }
         );
         // A text call still fits.
-        s.admit(3, ServiceClass::Text, 1, 0.0, 100.0, false).unwrap();
+        s.admit(3, ServiceClass::Text, 1, 0.0, 100.0, false)
+            .unwrap();
         assert_eq!(s.available(), 1);
     }
 
@@ -381,7 +388,8 @@ mod tests {
         let mut s = station();
         s.admit(7, ServiceClass::Text, 1, 0.0, 10.0, false).unwrap();
         assert_eq!(
-            s.admit(7, ServiceClass::Text, 1, 0.0, 10.0, false).unwrap_err(),
+            s.admit(7, ServiceClass::Text, 1, 0.0, 10.0, false)
+                .unwrap_err(),
             StationError::DuplicateConnection { id: 7 }
         );
     }
@@ -389,7 +397,8 @@ mod tests {
     #[test]
     fn release_frees_bandwidth() {
         let mut s = station();
-        s.admit(1, ServiceClass::Voice, 5, 0.0, 60.0, false).unwrap();
+        s.admit(1, ServiceClass::Voice, 5, 0.0, 60.0, false)
+            .unwrap();
         let conn = s.release(1).unwrap();
         assert_eq!(conn.bandwidth, 5);
         assert_eq!(s.occupied(), 0);
@@ -403,8 +412,10 @@ mod tests {
     #[test]
     fn drop_and_transfer_are_tracked_separately() {
         let mut s = station();
-        s.admit(1, ServiceClass::Video, 10, 0.0, 60.0, false).unwrap();
-        s.admit(2, ServiceClass::Video, 10, 0.0, 60.0, true).unwrap();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 60.0, false)
+            .unwrap();
+        s.admit(2, ServiceClass::Video, 10, 0.0, 60.0, true)
+            .unwrap();
         s.drop_connection(1).unwrap();
         s.transfer_out(2).unwrap();
         assert_eq!(s.total_dropped(), 1);
@@ -419,7 +430,8 @@ mod tests {
         let mut s = station();
         s.admit(1, ServiceClass::Text, 1, 0.0, 10.0, false).unwrap();
         s.admit(2, ServiceClass::Text, 1, 0.0, 50.0, false).unwrap();
-        s.admit(3, ServiceClass::Voice, 5, 0.0, 20.0, false).unwrap();
+        s.admit(3, ServiceClass::Voice, 5, 0.0, 20.0, false)
+            .unwrap();
         let done = s.release_expired(25.0);
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].id, 1);
@@ -431,7 +443,8 @@ mod tests {
     #[test]
     fn connection_lookup_and_metadata() {
         let mut s = station();
-        s.admit(5, ServiceClass::Video, 10, 12.0, 30.0, true).unwrap();
+        s.admit(5, ServiceClass::Video, 10, 12.0, 30.0, true)
+            .unwrap();
         let c = s.connection(5).unwrap();
         assert_eq!(c.admitted_at, 12.0);
         assert_eq!(c.ends_at, 42.0);
@@ -451,7 +464,8 @@ mod tests {
     #[test]
     fn negative_holding_time_is_clamped() {
         let mut s = station();
-        s.admit(1, ServiceClass::Text, 1, 10.0, -5.0, false).unwrap();
+        s.admit(1, ServiceClass::Text, 1, 10.0, -5.0, false)
+            .unwrap();
         assert_eq!(s.connection(1).unwrap().ends_at, 10.0);
     }
 

@@ -23,7 +23,8 @@ pub enum ServiceClass {
 
 impl ServiceClass {
     /// All classes, in paper order.
-    pub const ALL: [ServiceClass; 3] = [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video];
+    pub const ALL: [ServiceClass; 3] =
+        [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video];
 
     /// The bandwidth the paper assigns to this class (1 / 5 / 10 BU).
     #[must_use]
@@ -151,11 +152,8 @@ impl TrafficMix {
 
     /// Draw a service class according to the mix.
     pub fn sample_class(&self, rng: &mut SimRng) -> ServiceClass {
-        let idx = rng.weighted_choice(&[
-            self.text_fraction,
-            self.voice_fraction,
-            self.video_fraction,
-        ]);
+        let idx =
+            rng.weighted_choice(&[self.text_fraction, self.voice_fraction, self.video_fraction]);
         ServiceClass::ALL[idx]
     }
 }
@@ -542,10 +540,8 @@ mod tests {
             assert!(r.angle_deg.abs() <= 25.0 + 1e-9);
         }
         // Predictability 0 keeps angles spread over the full range.
-        let mut gen = TrafficGenerator::new(
-            TrafficConfig::paper_default().with_fixed_speed(120.0),
-            7,
-        );
+        let mut gen =
+            TrafficGenerator::new(TrafficConfig::paper_default().with_fixed_speed(120.0), 7);
         let wide = gen
             .generate_batch(500)
             .iter()

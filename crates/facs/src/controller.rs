@@ -92,14 +92,15 @@ impl FacsController {
     /// the station state (exposed for tests and the benches).
     #[must_use]
     pub fn decision_value(&self, request: &AdmissionRequest, station: &BaseStation) -> f64 {
-        let distance = request
-            .distance_m
-            .unwrap_or(self.config.default_distance_m);
+        let distance = request.distance_m.unwrap_or(self.config.default_distance_m);
         let cv = self
             .flc1
             .correction_value(request.speed_kmh, request.angle_deg, distance);
-        self.flc2
-            .decision_value(cv, f64::from(request.bandwidth), f64::from(station.counter_state()))
+        self.flc2.decision_value(
+            cv,
+            f64::from(request.bandwidth),
+            f64::from(station.counter_state()),
+        )
     }
 }
 
@@ -214,11 +215,14 @@ impl FacsPController {
     #[must_use]
     pub fn decision_value(&self, request: &AdmissionRequest, station: &BaseStation) -> f64 {
         let cv = self.correction_value(request);
-        let cs = self.config.priority.effective_counter_state_with_request_priority(
-            station,
-            request.is_handoff,
-            self.config.request_priority,
-        );
+        let cs = self
+            .config
+            .priority
+            .effective_counter_state_with_request_priority(
+                station,
+                request.is_handoff,
+                self.config.request_priority,
+            );
         self.flc2
             .decision_value(cv, f64::from(request.bandwidth), cs)
     }
@@ -422,9 +426,7 @@ mod tests {
         // In a saturated multi-cell network FACS-P should admit handoffs of
         // on-going connections at a higher rate than brand-new calls: that
         // is exactly the priority mechanism of the paper.
-        let mut cfg = SimConfig::paper_default()
-            .with_seed(33)
-            .with_grid_radius(1);
+        let mut cfg = SimConfig::paper_default().with_seed(33).with_grid_radius(1);
         cfg.cell_radius_m = 250.0;
         cfg.traffic = TrafficConfig {
             mean_interarrival_s: 1.5,
@@ -437,7 +439,10 @@ mod tests {
         let mut sim = Simulator::new(cfg);
         let report = sim.run_poisson(&mut facsp, 600);
         let (ho_offered, ho_accepted, _) = report.metrics.handoffs();
-        assert!(ho_offered > 20, "expected a handoff-heavy run, got {ho_offered}");
+        assert!(
+            ho_offered > 20,
+            "expected a handoff-heavy run, got {ho_offered}"
+        );
         let handoff_acceptance = ho_accepted as f64 / ho_offered as f64;
         let new_offered = report.offered - ho_offered;
         let new_accepted = report.accepted - ho_accepted;

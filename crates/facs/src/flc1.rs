@@ -54,7 +54,12 @@ impl Flc1 {
     pub fn correction_value(&self, speed_kmh: f64, angle_deg: f64, service_bu: f64) -> f64 {
         let inputs = [
             clamp_or(speed_kmh, 0.0, PaperParams::SPEED_MAX_KMH, 0.0),
-            clamp_or(angle_deg, -PaperParams::ANGLE_MAX_DEG, PaperParams::ANGLE_MAX_DEG, 0.0),
+            clamp_or(
+                angle_deg,
+                -PaperParams::ANGLE_MAX_DEG,
+                PaperParams::ANGLE_MAX_DEG,
+                0.0,
+            ),
             clamp_or(service_bu, 0.0, PaperParams::SR_MAX_BU, 1.0),
         ];
         match self.engine.infer(&inputs) {
@@ -104,7 +109,12 @@ impl DistanceFlc1 {
     pub fn correction_value(&self, speed_kmh: f64, angle_deg: f64, distance_m: f64) -> f64 {
         let inputs = [
             clamp_or(speed_kmh, 0.0, PaperParams::SPEED_MAX_KMH, 0.0),
-            clamp_or(angle_deg, -PaperParams::ANGLE_MAX_DEG, PaperParams::ANGLE_MAX_DEG, 0.0),
+            clamp_or(
+                angle_deg,
+                -PaperParams::ANGLE_MAX_DEG,
+                PaperParams::ANGLE_MAX_DEG,
+                0.0,
+            ),
             clamp_or(distance_m, 0.0, PaperParams::DISTANCE_MAX_M, 500.0),
         ];
         match self.engine.infer(&inputs) {
@@ -123,8 +133,7 @@ pub fn distance_frb_rules() -> Result<Vec<Rule>> {
     for sp in ["Sl", "Mi", "Fa"] {
         for an in ["B1", "L1", "L2", "St", "R1", "R2", "B2"] {
             for (di, sr_column) in mapping {
-                let cv = frb1_lookup(sp, an, sr_column)
-                    .expect("Table 1 covers the full grid");
+                let cv = frb1_lookup(sp, an, sr_column).expect("Table 1 covers the full grid");
                 let rule = Rule::new(
                     vec![
                         Antecedent::is("Sp", sp),

@@ -117,15 +117,13 @@ impl PaperParams {
     /// spaced terms Cv1..Cv9 (Fig. 5(d)).  Cv1 and Cv9 are shoulders, the
     /// rest are triangles 0.1 apart.
     pub fn correction_value_output() -> Result<LinguisticVariable> {
-        let mut builder = LinguisticVariable::builder("Cv", 0.0, 1.0)
-            .trapezoid("Cv1", 0.0, 0.0, 0.1, 0.2);
+        let mut builder =
+            LinguisticVariable::builder("Cv", 0.0, 1.0).trapezoid("Cv1", 0.0, 0.0, 0.1, 0.2);
         for k in 2..=8u32 {
             let peak = f64::from(k) / 10.0;
             builder = builder.triangle(&format!("Cv{k}"), peak - 0.1, peak, peak + 0.1);
         }
-        builder
-            .trapezoid("Cv9", 0.8, 0.9, 1.0, 1.0)
-            .build()
+        builder.trapezoid("Cv9", 0.8, 0.9, 1.0, 1.0).build()
     }
 
     /// FLC2 input: Correction value `Cv` over `[0, 1]` with terms
@@ -207,7 +205,9 @@ impl PaperParams {
     /// The names of the nine correction-value terms, in order.
     #[must_use]
     pub fn cv_term_names() -> [&'static str; 9] {
-        ["Cv1", "Cv2", "Cv3", "Cv4", "Cv5", "Cv6", "Cv7", "Cv8", "Cv9"]
+        [
+            "Cv1", "Cv2", "Cv3", "Cv4", "Cv5", "Cv6", "Cv7", "Cv8", "Cv9",
+        ]
     }
 }
 

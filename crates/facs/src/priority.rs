@@ -179,11 +179,16 @@ mod tests {
     fn loaded_station() -> BaseStation {
         let mut s = BaseStation::new(CellId::origin(), Point::default(), 40);
         // 10 BU video (RT), 5 BU voice (RT), 3 BU text (NRT) => occupied 18.
-        s.admit(1, ServiceClass::Video, 10, 0.0, 100.0, false).unwrap();
-        s.admit(2, ServiceClass::Voice, 5, 0.0, 100.0, false).unwrap();
-        s.admit(3, ServiceClass::Text, 1, 0.0, 100.0, false).unwrap();
-        s.admit(4, ServiceClass::Text, 1, 0.0, 100.0, false).unwrap();
-        s.admit(5, ServiceClass::Text, 1, 0.0, 100.0, false).unwrap();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 100.0, false)
+            .unwrap();
+        s.admit(2, ServiceClass::Voice, 5, 0.0, 100.0, false)
+            .unwrap();
+        s.admit(3, ServiceClass::Text, 1, 0.0, 100.0, false)
+            .unwrap();
+        s.admit(4, ServiceClass::Text, 1, 0.0, 100.0, false)
+            .unwrap();
+        s.admit(5, ServiceClass::Text, 1, 0.0, 100.0, false)
+            .unwrap();
         s
     }
 
@@ -232,9 +237,13 @@ mod tests {
     fn inflation_is_capped_at_capacity() {
         let mut station = BaseStation::new(CellId::origin(), Point::default(), 40);
         for id in 0..3 {
-            station.admit(id, ServiceClass::Video, 10, 0.0, 100.0, false).unwrap();
+            station
+                .admit(id, ServiceClass::Video, 10, 0.0, 100.0, false)
+                .unwrap();
         }
-        station.admit(3, ServiceClass::Voice, 5, 0.0, 100.0, false).unwrap();
+        station
+            .admit(3, ServiceClass::Voice, 5, 0.0, 100.0, false)
+            .unwrap();
         // occupied 35, rtc 35: inflated would be 35 + 0.3*35 = 45.5 > 40.
         let policy = PriorityPolicy::paper_default();
         let cs = policy.effective_counter_state(&station, false);

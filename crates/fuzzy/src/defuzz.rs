@@ -208,7 +208,7 @@ mod tests {
             Defuzzifier::LargestOfMaxima,
         ] {
             let v = d.defuzzify(&s, "x").unwrap();
-            assert!(v >= 0.0 && v <= 10.0, "{d:?} -> {v}");
+            assert!((0.0..=10.0).contains(&v), "{d:?} -> {v}");
         }
     }
 

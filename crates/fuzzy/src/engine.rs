@@ -155,12 +155,13 @@ impl MamdaniEngine {
                     .ok_or_else(|| FuzzyError::UnknownVariable {
                         name: consequent.variable.clone(),
                     })?;
-                let term = out_var
-                    .term(&consequent.term)
-                    .ok_or_else(|| FuzzyError::UnknownTerm {
-                        variable: consequent.variable.clone(),
-                        term: consequent.term.clone(),
-                    })?;
+                let term =
+                    out_var
+                        .term(&consequent.term)
+                        .ok_or_else(|| FuzzyError::UnknownTerm {
+                            variable: consequent.variable.clone(),
+                            term: consequent.term.clone(),
+                        })?;
                 match self.implication {
                     Implication::Clip => aggregated[out_idx].aggregate_clipped(
                         term.membership_function(),
@@ -531,7 +532,12 @@ mod tests {
     #[test]
     fn infer_single_requires_one_output() {
         let e = fan_engine();
-        assert!((e.infer_single(&[38.0, 90.0]).unwrap() - e.infer(&[38.0, 90.0]).unwrap().crisp("fan").unwrap()).abs() < 1e-12);
+        assert!(
+            (e.infer_single(&[38.0, 90.0]).unwrap()
+                - e.infer(&[38.0, 90.0]).unwrap().crisp("fan").unwrap())
+            .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ impl MembershipFunction {
         }
         if !(a <= b && b <= c) {
             return Err(FuzzyError::InvalidMembership {
-                reason: format!("triangular break-points must be ordered a <= b <= c, got ({a}, {b}, {c})"),
+                reason: format!(
+                    "triangular break-points must be ordered a <= b <= c, got ({a}, {b}, {c})"
+                ),
             });
         }
         if a == c {
@@ -151,7 +153,9 @@ impl MembershipFunction {
     pub fn gaussian(mean: f64, sigma: f64) -> Result<Self> {
         if !mean.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
             return Err(FuzzyError::InvalidMembership {
-                reason: format!("gaussian requires finite mean and sigma > 0, got ({mean}, {sigma})"),
+                reason: format!(
+                    "gaussian requires finite mean and sigma > 0, got ({mean}, {sigma})"
+                ),
             });
         }
         Ok(Self::Gaussian { mean, sigma })
@@ -472,7 +476,7 @@ mod tests {
     #[test]
     fn serde_derives_exist() {
         fn assert_serialize<T: serde::Serialize>(_: &T) {}
-        fn assert_deserialize<'de, T: serde::Deserialize<'de>>() {}
+        fn assert_deserialize<T: serde::Deserialize>() {}
         let mf = MembershipFunction::paper_trapezoidal(0.2, 0.4, 0.1, 0.1).unwrap();
         assert_serialize(&mf);
         assert_deserialize::<MembershipFunction>();

@@ -324,9 +324,6 @@ fn parse_clauses(
             i += 1;
         }
         // <variable> IS [NOT] <term>
-        if i + 2 >= tokens.len() + 1 && i + 2 > tokens.len() {
-            return Err(err("truncated clause".into()));
-        }
         if i + 2 > tokens.len() {
             return Err(err("truncated clause".into()));
         }
@@ -334,12 +331,12 @@ fn parse_clauses(
         if !tokens[i + 1].eq_ignore_ascii_case("is") {
             return Err(err(format!("expected IS after `{variable}`")));
         }
-        let (negated, term_idx) = if i + 2 < tokens.len() && tokens[i + 2].eq_ignore_ascii_case("not")
-        {
-            (true, i + 3)
-        } else {
-            (false, i + 2)
-        };
+        let (negated, term_idx) =
+            if i + 2 < tokens.len() && tokens[i + 2].eq_ignore_ascii_case("not") {
+                (true, i + 3)
+            } else {
+                (false, i + 2)
+            };
         if term_idx >= tokens.len() {
             return Err(err(format!("missing term after `{variable} IS`")));
         }

@@ -122,12 +122,7 @@ impl FuzzySet {
     /// Merge another sampled membership function into this set, clipped at
     /// `height`, combining point-wise with `snorm`.  This is the Mamdani
     /// "clip and aggregate" step.
-    pub fn aggregate_clipped(
-        &mut self,
-        mf: &MembershipFunction,
-        height: f64,
-        snorm: SNorm,
-    ) {
+    pub fn aggregate_clipped(&mut self, mf: &MembershipFunction, height: f64, snorm: SNorm) {
         let height = clamp_degree(height);
         if height == 0.0 {
             return;

@@ -9,7 +9,12 @@ fn sorted3() -> impl Strategy<Value = (f64, f64, f64)> {
 }
 
 fn sorted4() -> impl Strategy<Value = (f64, f64, f64, f64)> {
-    (-1000.0f64..1000.0, 0.001f64..500.0, 0.0f64..500.0, 0.001f64..500.0)
+    (
+        -1000.0f64..1000.0,
+        0.001f64..500.0,
+        0.0f64..500.0,
+        0.001f64..500.0,
+    )
         .prop_map(|(b, w0, plateau, w1)| (b - w0, b, b + plateau, b + plateau + w1))
 }
 
@@ -115,7 +120,7 @@ proptest! {
         let mut set = FuzzySet::empty(0.0, 1.0, 301).unwrap();
         set.aggregate_clipped(&mf, height, SNorm::Maximum);
         let c = Defuzzifier::Centroid.defuzzify(&set, "x").unwrap();
-        prop_assert!(c >= 0.0 && c <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&c));
         // the centroid should be near the (symmetric) peak
         prop_assert!((c - peak).abs() < 0.05, "centroid {} vs peak {}", c, peak);
     }
@@ -168,7 +173,7 @@ proptest! {
         ]).unwrap();
         let out = e.infer(&[t, h]).unwrap();
         let fan_speed = out.crisp_or("fan", 50.0);
-        prop_assert!(fan_speed >= 0.0 && fan_speed <= 100.0);
+        prop_assert!((0.0..=100.0).contains(&fan_speed));
     }
 
     #[test]

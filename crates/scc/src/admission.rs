@@ -122,7 +122,13 @@ mod tests {
     use cellsim::sim::{SimConfig, Simulator};
     use cellsim::traffic::ServiceClass;
 
-    fn request(id: u64, class: ServiceClass, speed: f64, angle: f64, handoff: bool) -> AdmissionRequest {
+    fn request(
+        id: u64,
+        class: ServiceClass,
+        speed: f64,
+        angle: f64,
+        handoff: bool,
+    ) -> AdmissionRequest {
         AdmissionRequest {
             id,
             cell: CellId::origin(),
@@ -141,7 +147,10 @@ mod tests {
     fn empty_station_accepts_new_calls() {
         let mut scc = SccAdmission::default();
         let station = BaseStation::paper_default();
-        let d = scc.decide(&request(1, ServiceClass::Video, 50.0, 30.0, false), &station);
+        let d = scc.decide(
+            &request(1, ServiceClass::Video, 50.0, 30.0, false),
+            &station,
+        );
         assert!(d.accept);
         assert!(d.score > 0.0);
     }
@@ -162,9 +171,15 @@ mod tests {
         }
         // Occupancy 30/40; the new-call budget is 32 BU so a 10-BU video
         // new call must be rejected while a 5-BU handoff is still accepted.
-        let new_video = scc.decide(&request(100, ServiceClass::Video, 0.0, 90.0, false), &station);
+        let new_video = scc.decide(
+            &request(100, ServiceClass::Video, 0.0, 90.0, false),
+            &station,
+        );
         assert!(!new_video.accept);
-        let handoff_voice = scc.decide(&request(101, ServiceClass::Voice, 0.0, 90.0, true), &station);
+        let handoff_voice = scc.decide(
+            &request(101, ServiceClass::Voice, 0.0, 90.0, true),
+            &station,
+        );
         assert!(handoff_voice.accept);
     }
 
@@ -173,7 +188,9 @@ mod tests {
         let mut scc = SccAdmission::default();
         let mut station = BaseStation::paper_default();
         let req = request(1, ServiceClass::Video, 0.0, 90.0, false);
-        station.admit(1, req.class, req.bandwidth, 0.0, 60.0, false).unwrap();
+        station
+            .admit(1, req.class, req.bandwidth, 0.0, 60.0, false)
+            .unwrap();
         scc.on_admitted(&req, &station);
         assert_eq!(scc.active_clusters(), 1);
         station.release(1).unwrap();
@@ -190,7 +207,9 @@ mod tests {
         // Occupy 20 BU (the new-call budget exactly).
         for id in 0..4u64 {
             let req = request(id, ServiceClass::Voice, 0.0, 90.0, false);
-            station.admit(id, req.class, req.bandwidth, 0.0, 600.0, false).unwrap();
+            station
+                .admit(id, req.class, req.bandwidth, 0.0, 600.0, false)
+                .unwrap();
             scc.on_admitted(&req, &station);
         }
         assert_eq!(station.occupied(), 20);

@@ -168,7 +168,10 @@ mod tests {
             })
             .collect();
         for w in home.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "home probability should not grow: {home:?}");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "home probability should not grow: {home:?}"
+            );
         }
         assert!(home[0] > 0.5);
     }

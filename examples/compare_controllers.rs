@@ -37,12 +37,13 @@ fn main() {
 
         let facs_p = acceptance_on(&requests, &mut FacsPController::paper_default());
         let facs = acceptance_on(&requests, &mut FacsController::paper_default());
-        let scc = acceptance_on(&requests, &mut SccAdmission::new(SccConfig::paper_default()));
+        let scc = acceptance_on(
+            &requests,
+            &mut SccAdmission::new(SccConfig::paper_default()),
+        );
         let always = acceptance_on(&requests, &mut AlwaysAccept);
 
-        println!(
-            "{n:>10}  {facs_p:>9.1}%  {facs:>9.1}%  {scc:>9.1}%  {always:>13.1}%"
-        );
+        println!("{n:>10}  {facs_p:>9.1}%  {facs:>9.1}%  {scc:>9.1}%  {always:>13.1}%");
     }
 
     println!(

@@ -52,7 +52,11 @@ fn main() {
     let seed = 0xCAFE;
     run("facs-p", &mut FacsPController::paper_default(), seed);
     run("facs", &mut FacsController::paper_default(), seed);
-    run("scc", &mut SccAdmission::new(SccConfig::paper_default()), seed);
+    run(
+        "scc",
+        &mut SccAdmission::new(SccConfig::paper_default()),
+        seed,
+    );
     run("always-accept", &mut AlwaysAccept, seed);
 
     println!(

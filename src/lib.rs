@@ -33,13 +33,13 @@ pub use scc;
 
 /// Commonly used types from every crate in the workspace.
 pub mod prelude {
+    pub use cellsim::traffic::TrafficConfig;
     pub use cellsim::{
         AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, BaseStation,
         CallRequest, CapacityThreshold, CellGrid, CellId, Metrics, MobilityModel, Point,
         ServiceClass, SimConfig, SimReport, SimRng, Simulator, TrafficGenerator, TrafficMix,
         UserState,
     };
-    pub use cellsim::traffic::TrafficConfig;
     pub use facs::{
         DifferentiatedService, FacsConfig, FacsController, FacsPConfig, FacsPController, Flc1,
         Flc2, PaperParams, PriorityPolicy, RequestPriority,

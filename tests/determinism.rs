@@ -29,9 +29,7 @@ fn different_seeds_differ_somewhere() {
 
 #[test]
 fn traffic_generation_is_stable_across_runs() {
-    let make = || {
-        TrafficGenerator::new(TrafficConfig::paper_default(), 555).generate_poisson(300)
-    };
+    let make = || TrafficGenerator::new(TrafficConfig::paper_default(), 555).generate_poisson(300);
     assert_eq!(make(), make());
 }
 

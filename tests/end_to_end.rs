@@ -14,10 +14,7 @@ fn facsp_full_pipeline_on_paper_workload() {
     assert!(report.accepted > 0 && report.accepted < 100);
     assert!(report.acceptance_percentage > 0.0 && report.acceptance_percentage < 100.0);
     // Metric bookkeeping is consistent.
-    assert_eq!(
-        report.offered,
-        report.accepted + report.metrics.blocked()
-    );
+    assert_eq!(report.offered, report.accepted + report.metrics.blocked());
     // The physical capacity is never violated, and because every request in
     // a batch run arrives at t = 0 (nothing departs), the occupied bandwidth
     // equals the admitted bandwidth.
@@ -105,7 +102,11 @@ fn custom_fuzzy_controller_plugs_into_the_simulator() {
         fn name(&self) -> &str {
             "tiny-fuzzy"
         }
-        fn decide(&mut self, request: &AdmissionRequest, station: &BaseStation) -> AdmissionDecision {
+        fn decide(
+            &mut self,
+            request: &AdmissionRequest,
+            station: &BaseStation,
+        ) -> AdmissionDecision {
             let load = f64::from(station.occupied());
             let score = self
                 .engine

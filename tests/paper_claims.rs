@@ -35,12 +35,14 @@ fn acceptance(
             .with_traffic(traffic);
         let mut controller = build();
         let mut sim = Simulator::new(config);
-        total += sim.run_poisson(controller.as_mut(), n).acceptance_percentage;
+        total += sim
+            .run_poisson(controller.as_mut(), n)
+            .acceptance_percentage;
     }
     total / seeds.len() as f64
 }
 
-const SEEDS: [u64; 6] = [11, 23, 37, 58, 71, 94];
+const SEEDS: [u64; 12] = [11, 23, 37, 58, 71, 94, 105, 131, 160, 177, 203, 250];
 
 fn facsp() -> Box<dyn AdmissionController> {
     Box::new(FacsPController::paper_default())
@@ -142,7 +144,9 @@ fn conclusion_facsp_keeps_higher_qos_for_ongoing_connections() {
     // at a higher rate than it admits new calls, and drops at most as many
     // admitted calls as the always-accept policy that performs no
     // protection at all.
-    let mut cfg = SimConfig::paper_default().with_seed(321).with_grid_radius(1);
+    let mut cfg = SimConfig::paper_default()
+        .with_seed(321)
+        .with_grid_radius(1);
     cfg.cell_radius_m = 250.0;
     cfg.traffic = TrafficConfig {
         mean_interarrival_s: 1.5,

@@ -1,0 +1,524 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! built directly on `proc_macro` (the build environment has no `syn` or
+//! `quote`). The generated impls only need field and variant *names* —
+//! field types are resolved by trait dispatch and struct-literal
+//! inference — so the parser is a small scanner over the token stream.
+//!
+//! Supported shapes: structs with named fields, tuple structs, unit
+//! structs, and enums with unit / named-field / tuple variants. Generic
+//! parameters are carried through; type parameters get a `Serialize` /
+//! `Deserialize` bound appended.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    /// Raw text between `<` and `>` of the type's generics, or empty.
+    generics: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    render_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    render_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) if i.to_string() == "struct" || i.to_string() == "enum" => {
+            i.to_string()
+        }
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    pos += 1;
+
+    let generics = parse_generics(&tokens, &mut pos);
+
+    // Skip an optional `where` clause: everything up to the body group (or
+    // the trailing `;` of a unit/tuple struct).
+    let body = if kind == "enum" {
+        let group = next_brace_group(&tokens, &mut pos);
+        Body::Enum(parse_variants(group))
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            Some(TokenTree::Ident(i)) if i.to_string() == "where" => {
+                let group = next_brace_group(&tokens, &mut pos);
+                Body::Struct(Fields::Named(parse_named_fields(group)))
+            }
+            other => panic!("unsupported struct body: {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // `pub(crate)` and friends
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return String::new(),
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut out = String::new();
+    while depth > 0 {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                out.push('<');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    out.push('>');
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Keep lifetimes glued to their identifier: `' a` would not
+                // re-parse as a lifetime token.
+                out.push('\'');
+            }
+            other => {
+                out.push_str(&other.to_string());
+                out.push(' ');
+            }
+        }
+        *pos += 1;
+    }
+    out.trim().to_string()
+}
+
+fn next_brace_group(tokens: &[TokenTree], pos: &mut usize) -> TokenStream {
+    while *pos < tokens.len() {
+        if let TokenTree::Group(g) = &tokens[*pos] {
+            if g.delimiter() == Delimiter::Brace {
+                *pos += 1;
+                return g.stream();
+            }
+        }
+        *pos += 1;
+    }
+    panic!("expected a brace-delimited body");
+}
+
+/// Field names of a `{ ... }` struct body, skipping attributes, visibility
+/// and types (commas inside `<...>` are not field separators).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        match &tokens[pos] {
+            TokenTree::Ident(i) => fields.push(i.to_string()),
+            other => panic!("expected field name, found {other}"),
+        }
+        pos += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple-struct / tuple-variant `( ... )` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0usize;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Generics plumbing
+// ---------------------------------------------------------------------------
+
+/// Split `generics` (the text between `<` and `>`) into top-level params.
+fn split_params(generics: &str) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in generics.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                params.push(current.trim().to_string());
+                current.clear();
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        params.push(current.trim().to_string());
+    }
+    params
+}
+
+/// `(impl_generics, ty_generics)` for the generated impl block, e.g.
+/// `("<'a, T: ::serde::Serialize>", "<'a, T>")`.
+fn render_generics(generics: &str, bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_params = Vec::new();
+    let mut ty_params = Vec::new();
+    for param in split_params(generics) {
+        let without_default = param.split('=').next().unwrap_or("").trim().to_string();
+        let name = without_default
+            .split(':')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_start_matches("const ")
+            .trim()
+            .to_string();
+        if param.starts_with('\'') || param.starts_with("const") {
+            impl_params.push(without_default);
+            ty_params.push(name);
+        } else {
+            if without_default.contains(':') {
+                impl_params.push(format!("{without_default} + {bound}"));
+            } else {
+                impl_params.push(format!("{without_default}: {bound}"));
+            }
+            ty_params.push(name);
+        }
+    }
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[String], accessor: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::serialize_value({accessor}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn de_named_fields(fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value({source}.get(\"{f}\")\
+                 .ok_or_else(|| ::serde::Error::custom(\"missing field `{f}`\"))?)?"
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn render_serialize(input: &Input) -> String {
+    let (impl_generics, ty_generics) = render_generics(&input.generics, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => ser_named_fields(fields, "&self."),
+        Body::Struct(Fields::Tuple(arity)) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => {
+            format!("::serde::Value::String(::std::string::String::from(\"{name}\"))")
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, fields)| match fields {
+                    Fields::Unit => format!(
+                        "Self::{variant} => \
+                         ::serde::Value::String(::std::string::String::from(\"{variant}\")),"
+                    ),
+                    Fields::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let inner = ser_named_fields(fields, "");
+                        format!(
+                            "Self::{variant} {{ {bindings} }} => ::serde::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{variant}\"), {inner})]),"
+                        )
+                    }
+                    Fields::Tuple(arity) => {
+                        let bindings: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        format!(
+                            "Self::{variant}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{variant}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))]),",
+                            bindings.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl {impl_generics} ::serde::Serialize for {name} {ty_generics} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn render_deserialize(input: &Input) -> String {
+    let (impl_generics, ty_generics) = render_generics(&input.generics, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let inits = de_named_fields(fields, "value");
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Body::Struct(Fields::Tuple(arity)) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array()\
+                 .ok_or_else(|| ::serde::Error::custom(\"expected array for `{name}`\"))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"wrong tuple arity for `{name}`\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unit) => "::std::result::Result::Ok(Self)".to_string(),
+        Body::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "\"{variant}\" => ::std::result::Result::Ok(Self::{variant}),"
+                    )),
+                    Fields::Named(fields) => {
+                        let inits = de_named_fields(fields, "inner");
+                        data_arms.push(format!(
+                            "\"{variant}\" => \
+                             ::std::result::Result::Ok(Self::{variant} {{ {inits} }}),"
+                        ));
+                    }
+                    Fields::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{variant}\" => {{\n\
+                             let items = inner.as_array()\
+                             .ok_or_else(|| ::serde::Error::custom(\
+                             \"expected array for variant `{variant}`\"))?;\n\
+                             if items.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong arity for variant `{variant}`\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok(Self::{variant}({}))\n\
+                             }}",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                     let (tag, inner) = &fields[0];\n\
+                     let _ = inner;\n\
+                     match tag.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                     }}\n\
+                 }}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unexpected value for `{name}`: {{other:?}}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl {impl_generics} ::serde::Deserialize for {name} {ty_generics} {{\n\
+             fn deserialize_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
