@@ -1,27 +1,28 @@
 //! Regenerate every figure of the paper in one run.
 //!
 //! ```text
-//! cargo run --release -p facs-bench --bin all_figures [-- --quick] [--json DIR]
+//! cargo run --release -p facs-bench --bin all_figures [-- --quick] [--seed N] [--json PATH]
 //! ```
+//!
+//! `--json PATH` writes the series JSON to `PATH`: if `PATH` is an
+//! existing directory, one `figN.json` file per figure is written into
+//! it; otherwise a single combined document lands at `PATH`.
 
 use bench::{
     fig10_series, fig7_series, fig8_series, fig9_series, qos_protection_rows, render_qos_table,
-    render_table, series_to_json, ExperimentConfig,
+    render_table, series_to_json, FigureArgs, FigureSeries,
 };
 
+#[derive(serde::Serialize)]
+struct CombinedDoc<'a> {
+    figure: &'a str,
+    title: &'a str,
+    series: &'a [FigureSeries],
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json_dir = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let cfg = if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::paper_default()
-    };
+    let args = FigureArgs::parse_env();
+    let cfg = args.experiment_config();
 
     let figures = [
         ("fig7", "Fig. 7 — FACS vs. SCC", fig7_series(&cfg)),
@@ -37,21 +38,41 @@ fn main() {
         ),
         ("fig10", "Fig. 10 — FACS-P vs. FACS", fig10_series(&cfg)),
     ];
-    for (id, title, series) in &figures {
+    for (_, title, series) in &figures {
         println!("{}", render_table(title, series));
-        if let Some(dir) = &json_dir {
-            let path = std::path::Path::new(dir).join(format!("{id}.json"));
-            if let Err(e) = std::fs::write(&path, series_to_json(id, series)) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
+    }
+
+    if let Some(path) = &args.json {
+        let target = std::path::Path::new(path);
+        let result = if target.is_dir() {
+            figures.iter().try_for_each(|(id, _, series)| {
+                let file = target.join(format!("{id}.json"));
+                std::fs::write(&file, series_to_json(id, series))
+                    .map_err(|e| format!("could not write {}: {e}", file.display()))
+            })
+        } else {
+            let docs: Vec<CombinedDoc<'_>> = figures
+                .iter()
+                .map(|(id, title, series)| CombinedDoc {
+                    figure: id,
+                    title,
+                    series,
+                })
+                .collect();
+            let doc = serde_json::to_string_pretty(&docs).unwrap_or_else(|_| "[]".to_string());
+            std::fs::write(target, doc).map_err(|e| format!("could not write {path}: {e}"))
+        };
+        if let Err(e) = result {
+            eprintln!("{e}");
+            std::process::exit(1);
         }
     }
 
     // Supplementary: the paper's headline conclusion that FACS-P "keeps a
     // higher QoS of on-going connections", measured as the dropping
     // probability of admitted calls in a saturated 7-cell network.
-    let requests = if quick { 300 } else { 1500 };
-    let rows = qos_protection_rows(requests, 0x9005);
+    let requests = if args.quick { 300 } else { 1500 };
+    let rows = qos_protection_rows(requests, args.seed.unwrap_or(0x9005));
     println!(
         "{}",
         render_qos_table(

@@ -1,19 +1,14 @@
 //! Regenerate Fig. 10 of the paper.
 //!
 //! ```text
-//! cargo run --release -p facs-bench --bin fig10 [-- --quick]
+//! cargo run --release -p facs-bench --bin fig10 [-- --quick] [--seed N] [--json PATH]
 //! ```
 
-use bench::{fig10_series, render_table, series_to_json, ExperimentConfig};
+use bench::{fig10_series, render_table, series_to_json, FigureArgs};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::paper_default()
-    };
-    let series = fig10_series(&cfg);
+    let args = FigureArgs::parse_env();
+    let series = fig10_series(&args.experiment_config());
     println!(
         "{}",
         render_table(
@@ -21,5 +16,8 @@ fn main() {
             &series
         )
     );
-    println!("{}", series_to_json("fig10", &series));
+    if let Err(e) = args.emit_json(&series_to_json("fig10", &series)) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }

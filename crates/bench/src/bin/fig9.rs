@@ -1,19 +1,14 @@
 //! Regenerate Fig. 9 of the paper.
 //!
 //! ```text
-//! cargo run --release -p facs-bench --bin fig9 [-- --quick]
+//! cargo run --release -p facs-bench --bin fig9 [-- --quick] [--seed N] [--json PATH]
 //! ```
 
-use bench::{fig9_series, render_table, series_to_json, ExperimentConfig};
+use bench::{fig9_series, render_table, series_to_json, FigureArgs};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::paper_default()
-    };
-    let series = fig9_series(&cfg);
+    let args = FigureArgs::parse_env();
+    let series = fig9_series(&args.experiment_config());
     println!(
         "{}",
         render_table(
@@ -21,5 +16,8 @@ fn main() {
             &series
         )
     );
-    println!("{}", series_to_json("fig9", &series));
+    if let Err(e) = args.emit_json(&series_to_json("fig9", &series)) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,146 @@
+//! Shared command-line parsing for the figure bins.
+//!
+//! Every figure bin (`fig7` … `fig10`, `all_figures`) accepts the same
+//! flags:
+//!
+//! * `--quick` — the reduced CI sweep ([`ExperimentConfig::quick`]);
+//! * `--seed N` — override the base RNG seed of the sweep;
+//! * `--json PATH` — write the series JSON to `PATH` instead of stdout
+//!   (`all_figures` also accepts an existing directory and writes one
+//!   `figN.json` per figure into it).
+
+use crate::experiments::ExperimentConfig;
+use std::path::Path;
+
+/// Parsed figure-bin flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FigureArgs {
+    /// Use the reduced CI sweep.
+    pub quick: bool,
+    /// Base-seed override.
+    pub seed: Option<u64>,
+    /// Destination for the series JSON (stdout when absent).
+    pub json: Option<String>,
+}
+
+impl FigureArgs {
+    /// Parse from an argument list (binary name already stripped).
+    pub fn parse<I, S>(argv: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let argv: Vec<String> = argv.into_iter().map(Into::into).collect();
+        let mut args = Self::default();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => args.quick = true,
+                "--seed" => {
+                    let raw = it.next().ok_or("--seed needs a value")?;
+                    args.seed = Some(raw.parse().map_err(|e| format!("--seed: {e}"))?);
+                }
+                "--json" => {
+                    args.json = Some(it.next().ok_or("--json needs a path")?.clone());
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument `{other}`; expected [--quick] [--seed N] [--json PATH]"
+                    ));
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parse the process arguments, exiting with a message on bad flags.
+    #[must_use]
+    pub fn parse_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The experiment configuration these flags select.
+    #[must_use]
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        let cfg = if self.quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::paper_default()
+        };
+        match self.seed {
+            Some(seed) => cfg.with_base_seed(seed),
+            None => cfg,
+        }
+    }
+
+    /// Deliver a JSON document: to the `--json` path when given (created or
+    /// truncated), to stdout otherwise.
+    pub fn emit_json(&self, doc: &str) -> Result<(), String> {
+        match &self.json {
+            Some(path) => std::fs::write(Path::new(path), doc)
+                .map_err(|e| format!("could not write {path}: {e}")),
+            None => {
+                println!("{doc}");
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_flags() {
+        let args = FigureArgs::parse(["--quick", "--seed", "42", "--json", "/tmp/x.json"]).unwrap();
+        assert!(args.quick);
+        assert_eq!(args.seed, Some(42));
+        assert_eq!(args.json.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(
+            FigureArgs::parse(Vec::<String>::new()).unwrap(),
+            FigureArgs::default()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(FigureArgs::parse(["--nope"]).is_err());
+        assert!(FigureArgs::parse(["--seed"]).is_err());
+        assert!(FigureArgs::parse(["--seed", "abc"]).is_err());
+        assert!(FigureArgs::parse(["--json"]).is_err());
+    }
+
+    #[test]
+    fn config_reflects_flags() {
+        let quick = FigureArgs::parse(["--quick", "--seed", "7"])
+            .unwrap()
+            .experiment_config();
+        assert_eq!(quick.base_seed, 7);
+        assert_eq!(
+            quick.request_counts,
+            ExperimentConfig::quick().request_counts
+        );
+        let full = FigureArgs::default().experiment_config();
+        assert_eq!(full.base_seed, ExperimentConfig::paper_default().base_seed);
+    }
+
+    #[test]
+    fn emit_json_writes_to_the_given_path() {
+        let path = std::env::temp_dir().join("facs-bench-cli-test.json");
+        let args = FigureArgs {
+            json: Some(path.to_string_lossy().into_owned()),
+            ..FigureArgs::default()
+        };
+        args.emit_json("{\"ok\":true}").unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "{\"ok\":true}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -18,9 +18,9 @@
 
 use cellsim::sim::{AdmissionController, SimConfig, Simulator};
 use cellsim::traffic::TrafficConfig;
-use facs::{FacsController, FacsPController};
-use scc::{SccAdmission, SccConfig};
+use cellsim::MobilityModel;
 use serde::{Deserialize, Serialize};
+use sweep::{ControllerSpec, LoadMode, RunReport, ScenarioSpec, SweepRunner};
 
 /// Which admission controller a series uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -47,15 +47,21 @@ impl ControllerKind {
         }
     }
 
+    /// The scenario-spec form of this controller choice.
+    #[must_use]
+    pub fn spec(&self) -> ControllerSpec {
+        match self {
+            ControllerKind::FacsP => ControllerSpec::FacsP,
+            ControllerKind::Facs => ControllerSpec::Facs,
+            ControllerKind::Scc => ControllerSpec::Scc,
+            ControllerKind::AlwaysAccept => ControllerSpec::AlwaysAccept,
+        }
+    }
+
     /// Instantiate the controller.
     #[must_use]
     pub fn build(&self) -> Box<dyn AdmissionController> {
-        match self {
-            ControllerKind::FacsP => Box::new(FacsPController::paper_default()),
-            ControllerKind::Facs => Box::new(FacsController::paper_default()),
-            ControllerKind::Scc => Box::new(SccAdmission::new(SccConfig::paper_default())),
-            ControllerKind::AlwaysAccept => Box::new(cellsim::sim::AlwaysAccept),
-        }
+        self.spec().build()
     }
 }
 
@@ -128,6 +134,13 @@ impl ExperimentConfig {
         self.repetitions = repetitions.max(1);
         self
     }
+
+    /// Override the base RNG seed (the `--seed` flag of the figure bins).
+    #[must_use]
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -164,18 +177,21 @@ impl FigureSeries {
     }
 }
 
-fn traffic_for(
+/// Build the [`ScenarioSpec`] of one figure sweep: the paper's single
+/// 40-BU cell driven by `cfg`'s load axis, with the listed controllers
+/// compared on shared arrival sequences.
+///
+/// `fixed_speed` / `fixed_angle` pin the corresponding user parameter for
+/// the whole series (Figs. 8 and 9); `None` draws them uniformly from the
+/// paper's ranges.
+#[must_use]
+pub fn figure_scenario(
+    kinds: &[ControllerKind],
     cfg: &ExperimentConfig,
-    n: usize,
     fixed_speed: Option<f64>,
     fixed_angle: Option<f64>,
-) -> TrafficConfig {
+) -> ScenarioSpec {
     let mut traffic = TrafficConfig::paper_default();
-    traffic.mean_interarrival_s = if n == 0 {
-        cfg.window_s
-    } else {
-        cfg.window_s / n as f64
-    };
     traffic.mean_holding_s = cfg.mean_holding_s;
     traffic.handoff_fraction = cfg.handoff_fraction;
     traffic.direction_predictability = cfg.direction_predictability.clamp(0.0, 1.0);
@@ -185,7 +201,58 @@ fn traffic_for(
     if let Some(a) = fixed_angle {
         traffic = traffic.with_fixed_angle(a);
     }
-    traffic
+    ScenarioSpec {
+        name: "figure-sweep".to_string(),
+        description: "Requesting-connections sweep of the paper's evaluation".to_string(),
+        grid_radius_cells: 0,
+        cell_radius_m: 1000.0,
+        station_capacity: 40,
+        traffic,
+        mobility: MobilityModel::paper_default(),
+        utilization_sample_interval_s: 0.0,
+        controllers: kinds.iter().map(ControllerKind::spec).collect(),
+        load_mode: LoadMode::RequestsPerWindow {
+            window_s: cfg.window_s,
+        },
+        load_points: cfg.request_counts.clone(),
+        replications: cfg.repetitions.max(1),
+        base_seed: cfg.base_seed,
+    }
+}
+
+/// Convert an engine [`RunReport`] into plotted series: one
+/// `(load, mean acceptance %)` curve per controller, in report order.
+#[must_use]
+pub fn series_from_report(report: &RunReport) -> Vec<FigureSeries> {
+    report
+        .curves
+        .iter()
+        .map(|curve| FigureSeries {
+            label: curve.controller.clone(),
+            points: curve
+                .points
+                .iter()
+                .map(|p| (p.load, p.acceptance.mean))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Sweep the number of requesting connections for several controllers at
+/// once (shared arrival sequences, one engine pass) and return one
+/// acceptance-percentage curve per controller.
+#[must_use]
+pub fn acceptance_curves(
+    kinds: &[ControllerKind],
+    cfg: &ExperimentConfig,
+    fixed_speed: Option<f64>,
+    fixed_angle: Option<f64>,
+) -> Vec<FigureSeries> {
+    let spec = figure_scenario(kinds, cfg, fixed_speed, fixed_angle);
+    let report = SweepRunner::new()
+        .run(&spec)
+        .expect("figure scenarios are statically valid");
+    series_from_report(&report)
 }
 
 /// Sweep the number of requesting connections for one controller and return
@@ -200,29 +267,9 @@ pub fn acceptance_curve(
     fixed_speed: Option<f64>,
     fixed_angle: Option<f64>,
 ) -> FigureSeries {
-    let mut points = Vec::with_capacity(cfg.request_counts.len());
-    for &n in &cfg.request_counts {
-        let mut total = 0.0;
-        let reps = cfg.repetitions.max(1);
-        for rep in 0..reps {
-            let seed = cfg
-                .base_seed
-                .wrapping_add(1000 * n as u64)
-                .wrapping_add(rep as u64);
-            let sim_config = SimConfig::paper_default()
-                .with_seed(seed)
-                .with_traffic(traffic_for(cfg, n, fixed_speed, fixed_angle));
-            let mut controller = kind.build();
-            let mut sim = Simulator::new(sim_config);
-            let report = sim.run_poisson(controller.as_mut(), n);
-            total += report.acceptance_percentage;
-        }
-        points.push((n, total / reps as f64));
-    }
-    FigureSeries {
-        label: kind.label().to_string(),
-        points,
-    }
+    acceptance_curves(&[kind], cfg, fixed_speed, fixed_angle)
+        .pop()
+        .expect("one controller in, one series out")
 }
 
 /// Fig. 7 — percentage of accepted calls vs. number of requesting
@@ -236,10 +283,12 @@ pub fn fig7_series(cfg: &ExperimentConfig) -> Vec<FigureSeries> {
     let cfg = cfg
         .clone()
         .with_handoff_fraction(cfg.handoff_fraction.max(0.3));
-    vec![
-        acceptance_curve(ControllerKind::Facs, &cfg, None, None),
-        acceptance_curve(ControllerKind::Scc, &cfg, None, None),
-    ]
+    acceptance_curves(
+        &[ControllerKind::Facs, ControllerKind::Scc],
+        &cfg,
+        None,
+        None,
+    )
 }
 
 /// Fig. 8 — FACS-P acceptance vs. number of requesting connections for
@@ -277,10 +326,12 @@ pub fn fig10_series(cfg: &ExperimentConfig) -> Vec<FigureSeries> {
     let cfg = cfg
         .clone()
         .with_handoff_fraction(cfg.handoff_fraction.max(0.35));
-    vec![
-        acceptance_curve(ControllerKind::FacsP, &cfg, None, None),
-        acceptance_curve(ControllerKind::Facs, &cfg, None, None),
-    ]
+    acceptance_curves(
+        &[ControllerKind::FacsP, ControllerKind::Facs],
+        &cfg,
+        None,
+        None,
+    )
 }
 
 /// One row of the supplementary "QoS of on-going connections" comparison.
@@ -380,6 +431,42 @@ mod tests {
         let a = acceptance_curve(ControllerKind::Facs, &tiny(), None, None);
         let b = acceptance_curve(ControllerKind::Facs, &tiny(), None, None);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure_scenario_reproduces_the_legacy_seed_rule() {
+        // The figure bins predate the sweep engine; their published numbers
+        // used seed = base + 1000·n + rep, which ScenarioSpec::seed_for
+        // must keep reproducing.
+        let cfg = tiny();
+        let spec = figure_scenario(&[ControllerKind::FacsP], &cfg, None, None);
+        assert_eq!(spec.seed_for(60, 1), cfg.base_seed + 1000 * 60 + 1);
+        assert_eq!(spec.load_points, cfg.request_counts);
+        assert_eq!(spec.replications, cfg.repetitions);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn joint_sweeps_match_individual_curves() {
+        // One engine pass over several controllers must give the same
+        // series as sweeping each controller alone: cells are seeded per
+        // (load, replication), independently of the controller list.
+        let cfg = tiny();
+        let joint = acceptance_curves(
+            &[ControllerKind::Facs, ControllerKind::Scc],
+            &cfg,
+            None,
+            None,
+        );
+        assert_eq!(joint.len(), 2);
+        assert_eq!(
+            joint[0],
+            acceptance_curve(ControllerKind::Facs, &cfg, None, None)
+        );
+        assert_eq!(
+            joint[1],
+            acceptance_curve(ControllerKind::Scc, &cfg, None, None)
+        );
     }
 
     #[test]

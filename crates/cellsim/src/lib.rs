@@ -47,7 +47,7 @@ pub mod traffic;
 
 pub use event::{Event, EventKind, EventQueue};
 pub use geometry::{CellGrid, CellId, Point};
-pub use metrics::{ClassMetrics, Metrics};
+pub use metrics::{ClassMetrics, Metrics, StatAccumulator, SummaryStats};
 pub use mobility::{MobilityModel, UserState};
 pub use rng::SimRng;
 pub use sim::{

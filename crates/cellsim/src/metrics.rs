@@ -259,6 +259,116 @@ impl Metrics {
     }
 }
 
+/// Streaming accumulator for a scalar observed once per replication
+/// (Welford's algorithm), used to aggregate a metric — e.g. the acceptance
+/// percentage — across repeated runs with different seeds.
+///
+/// Like [`Metrics::merge`], two accumulators can be merged (Chan et al.'s
+/// parallel update), so partial aggregates computed by different workers
+/// combine into the same result as a single sequential pass **provided the
+/// merge order is fixed** — which is why the sweep engine always merges in
+/// replication order, regardless of which thread produced each value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatAccumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl StatAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &StatAccumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).max(0.0).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval of
+    /// the mean (0 with fewer than two observations).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Snapshot the accumulated statistics.
+    #[must_use]
+    pub fn summary(&self) -> SummaryStats {
+        let hw = self.ci95_half_width();
+        SummaryStats {
+            n: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            ci95_lo: self.mean() - hw,
+            ci95_hi: self.mean() + hw,
+        }
+    }
+}
+
+/// Cross-replication summary of one scalar metric: mean, sample standard
+/// deviation and the normal-approximation 95 % confidence interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of replications aggregated.
+    pub n: u64,
+    /// Mean over the replications.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Lower bound of the 95 % confidence interval of the mean.
+    pub ci95_lo: f64,
+    /// Upper bound of the 95 % confidence interval of the mean.
+    pub ci95_hi: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +474,68 @@ mod tests {
         assert_eq!(a.blocked(), 1);
         assert_eq!(a.utilization_samples().len(), 1);
         assert!((a.acceptance_percentage() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stat_accumulator_mean_std_ci() {
+        let mut acc = StatAccumulator::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            acc.push(v);
+        }
+        let s = acc.summary();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std of this classic data set is sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95_lo < s.mean && s.mean < s.ci95_hi);
+        assert!(
+            (s.ci95_hi - s.mean - 1.96 * s.std_dev / 8.0f64.sqrt()).abs() < 1e-12,
+            "ci half-width"
+        );
+    }
+
+    #[test]
+    fn stat_accumulator_degenerate_counts() {
+        let empty = StatAccumulator::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std_dev(), 0.0);
+        assert_eq!(empty.ci95_half_width(), 0.0);
+        let mut one = StatAccumulator::new();
+        one.push(42.0);
+        let s = one.summary();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_lo, 42.0);
+        assert_eq!(s.ci95_hi, 42.0);
+    }
+
+    #[test]
+    fn stat_accumulator_merge_matches_sequential() {
+        let values = [3.5, -1.0, 7.25, 0.0, 12.0, 5.5, 5.5];
+        let mut sequential = StatAccumulator::new();
+        for v in values {
+            sequential.push(v);
+        }
+        let mut left = StatAccumulator::new();
+        let mut right = StatAccumulator::new();
+        for v in &values[..3] {
+            left.push(*v);
+        }
+        for v in &values[3..] {
+            right.push(*v);
+        }
+        let mut merged = StatAccumulator::new();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged.count(), sequential.count());
+        assert!((merged.mean() - sequential.mean()).abs() < 1e-12);
+        assert!((merged.std_dev() - sequential.std_dev()).abs() < 1e-12);
+        // Merging an empty accumulator is a no-op.
+        let before = merged;
+        merged.merge(&StatAccumulator::new());
+        assert_eq!(merged, before);
     }
 
     #[test]

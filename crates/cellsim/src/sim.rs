@@ -265,6 +265,28 @@ impl SimConfig {
         self.grid_radius_cells = radius_cells;
         self
     }
+
+    /// Override the cell radius (metres, floored at 1 m).
+    #[must_use]
+    pub fn with_cell_radius(mut self, radius_m: f64) -> Self {
+        self.cell_radius_m = radius_m.max(1.0);
+        self
+    }
+
+    /// Override the mobility model.
+    #[must_use]
+    pub fn with_mobility(mut self, mobility: MobilityModel) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Enable utilisation sampling at the given interval (seconds; 0
+    /// disables sampling).
+    #[must_use]
+    pub fn with_utilization_sampling(mut self, interval_s: f64) -> Self {
+        self.utilization_sample_interval_s = interval_s.max(0.0);
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -477,12 +499,17 @@ impl Simulator {
                     self.handle_handoff(controller, from, to, connection_id);
                 }
                 EventKind::MobilityTick => {
-                    for station in self.stations.values() {
-                        self.metrics.record_utilization(
-                            self.clock,
-                            station.occupied(),
-                            station.capacity(),
-                        );
+                    // Walk the grid's fixed cell order, not the station
+                    // map: HashMap iteration order varies per process and
+                    // would make the sample sequence nondeterministic.
+                    for cell in self.grid.cells() {
+                        if let Some(station) = self.stations.get(cell) {
+                            self.metrics.record_utilization(
+                                self.clock,
+                                station.occupied(),
+                                station.capacity(),
+                            );
+                        }
                     }
                 }
                 EventKind::EndOfSimulation => break,

@@ -81,6 +81,41 @@ proptest! {
     }
 
     #[test]
+    fn station_counters_balance_after_any_admit_release_sequence(
+        capacity in 1u32..100,
+        ops in proptest::collection::vec((0u64..40, 0usize..3, 1u32..12, 0usize..4), 1..120),
+    ) {
+        // Drive a station through an arbitrary interleaving of admissions
+        // and the three release paths; after every single operation the
+        // RTC + NRTC split must equal the bandwidth of the live
+        // connections, equal the occupied counter, and fit the capacity.
+        let mut station = BaseStation::new(CellId::origin(), Point::default(), capacity);
+        let mut clock = 0.0;
+        for (id, class_idx, bw, op) in ops {
+            clock += 1.0;
+            match op {
+                0 => {
+                    let class = ServiceClass::ALL[class_idx];
+                    let _ = station.admit(id, class, bw, clock, 5.0 + bw as f64, false);
+                }
+                1 => {
+                    let _ = station.release(id);
+                }
+                2 => {
+                    let _ = station.drop_connection(id);
+                }
+                _ => {
+                    let _ = station.release_expired(clock);
+                }
+            }
+            let live_bandwidth: u32 = station.connections().map(|c| c.bandwidth).sum();
+            prop_assert_eq!(station.rtc() + station.nrtc(), live_bandwidth);
+            prop_assert_eq!(station.occupied(), live_bandwidth);
+            prop_assert!(station.occupied() <= station.capacity());
+        }
+    }
+
+    #[test]
     fn station_release_restores_all_bandwidth(
         ids in proptest::collection::hash_set(0u64..1000, 1..30),
     ) {

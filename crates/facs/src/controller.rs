@@ -82,6 +82,13 @@ impl FacsController {
         })
     }
 
+    /// The paper-default controller behind the [`AdmissionController`]
+    /// trait object — the factory shape scenario specs build from.
+    #[must_use]
+    pub fn boxed_paper_default() -> Box<dyn AdmissionController> {
+        Box::new(Self::paper_default())
+    }
+
     /// The controller's configuration.
     #[must_use]
     pub fn config(&self) -> &FacsConfig {
@@ -193,6 +200,13 @@ impl FacsPController {
             flc2: Flc2::with_capacity(config.capacity_bu)?,
             config,
         })
+    }
+
+    /// The paper-default controller behind the [`AdmissionController`]
+    /// trait object — the factory shape scenario specs build from.
+    #[must_use]
+    pub fn boxed_paper_default() -> Box<dyn AdmissionController> {
+        Box::new(Self::paper_default())
     }
 
     /// The controller's configuration.

@@ -38,6 +38,13 @@ impl SccAdmission {
         }
     }
 
+    /// The paper-default controller behind the [`AdmissionController`]
+    /// trait object — the factory shape scenario specs build from.
+    #[must_use]
+    pub fn boxed_paper_default() -> Box<dyn AdmissionController> {
+        Box::new(Self::new(SccConfig::paper_default()))
+    }
+
     /// The controller's configuration.
     #[must_use]
     pub fn config(&self) -> &SccConfig {

@@ -1,0 +1,234 @@
+//! Run a scenario spec end to end from the command line.
+//!
+//! ```text
+//! sweep --scenario paper-default [--quick] [--threads N] [--seed N]
+//!       [--json PATH] [--csv PATH]
+//! sweep --spec experiment.json          # load a ScenarioSpec from JSON
+//! sweep --all --quick                   # every built-in scenario
+//! sweep --list                          # list built-in scenario names
+//! sweep --print-spec highway-handoff    # dump a spec as editable JSON
+//! ```
+
+use std::process::ExitCode;
+use sweep::{builtin, builtin_names, RunReport, ScenarioSpec, SweepRunner};
+
+struct Args {
+    scenario: Option<String>,
+    spec_path: Option<String>,
+    all: bool,
+    list: bool,
+    print_spec: Option<String>,
+    help: bool,
+    quick: bool,
+    threads: Option<usize>,
+    seed: Option<u64>,
+    json: Option<String>,
+    csv: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: sweep (--scenario NAME | --spec PATH.json | --all | --list | --print-spec NAME)\n\
+     \x20      [--quick] [--threads N] [--seed N] [--json PATH] [--csv PATH]\n\
+     built-in scenarios: paper-default, highway-handoff, downtown-hotspot, \
+     flash-crowd, mixed-multimedia"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        scenario: None,
+        spec_path: None,
+        all: false,
+        list: false,
+        print_spec: None,
+        help: false,
+        quick: false,
+        threads: None,
+        seed: None,
+        json: None,
+        csv: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--spec" => args.spec_path = Some(value("--spec")?),
+            "--all" => args.all = true,
+            "--list" => args.list = true,
+            "--print-spec" => args.print_spec = Some(value("--print-spec")?),
+            "--quick" => args.quick = true,
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--help" | "-h" => {
+                args.help = true;
+                return Ok(args);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn load_specs(args: &Args) -> Result<Vec<ScenarioSpec>, String> {
+    if args.all {
+        return Ok(sweep::all_builtins());
+    }
+    if let Some(path) = &args.spec_path {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        return Ok(vec![
+            ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?
+        ]);
+    }
+    if let Some(name) = &args.scenario {
+        return builtin(name).map(|s| vec![s]).ok_or_else(|| {
+            format!(
+                "unknown scenario `{name}`; built-ins: {}",
+                builtin_names().join(", ")
+            )
+        });
+    }
+    Err(usage().to_string())
+}
+
+fn write_or_die(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("could not write {path}: {e}"))
+}
+
+/// With one scenario the output paths are used as-is; with several, each
+/// report goes to `<stem>-<scenario>.<ext>` so nothing is overwritten.
+/// Only the file name's extension is split — dots in directory components
+/// are left alone.
+fn output_path(template: &str, scenario: &str, many: bool) -> String {
+    if !many {
+        return template.to_string();
+    }
+    let path = std::path::Path::new(template);
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "report".to_string());
+    let suffix = match path.extension() {
+        Some(ext) => format!("{stem}-{scenario}.{}", ext.to_string_lossy()),
+        None => format!("{stem}-{scenario}"),
+    };
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(suffix).to_string_lossy().into_owned(),
+        _ => suffix,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if args.help {
+        println!("{}", usage());
+        return Ok(());
+    }
+    if args.list {
+        for name in builtin_names() {
+            let spec = builtin(name).expect("listed names are built-ins");
+            println!("{name:<20} {}", spec.description);
+        }
+        return Ok(());
+    }
+    if let Some(name) = &args.print_spec {
+        let spec = builtin(name).ok_or_else(|| format!("unknown scenario `{name}`"))?;
+        println!("{}", spec.to_json());
+        return Ok(());
+    }
+
+    let mut specs = load_specs(&args)?;
+    let many = specs.len() > 1;
+    for spec in &mut specs {
+        if args.quick {
+            *spec = spec.clone().quick();
+        }
+        if let Some(seed) = args.seed {
+            *spec = spec.clone().with_base_seed(seed);
+        }
+    }
+
+    let runner = match args.threads {
+        Some(n) => SweepRunner::with_threads(n),
+        None => SweepRunner::new(),
+    };
+    for spec in &specs {
+        let report: RunReport = runner.run(spec).map_err(|e| e.to_string())?;
+        if report.is_empty() {
+            return Err(format!("scenario `{}` produced an empty report", spec.name));
+        }
+        println!("{}", report.render_table());
+        if let Some(path) = &args.json {
+            write_or_die(&output_path(path, &spec.name, many), &report.to_json())?;
+        }
+        if let Some(path) = &args.csv {
+            write_or_die(&output_path(path, &spec.name, many), &report.to_csv())?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_scenario_uses_the_template_verbatim() {
+        assert_eq!(output_path("out.json", "paper-default", false), "out.json");
+    }
+
+    #[test]
+    fn multi_scenario_suffixes_only_the_file_name() {
+        assert_eq!(
+            output_path("out.json", "flash-crowd", true),
+            "out-flash-crowd.json"
+        );
+        assert_eq!(
+            output_path("results.v1/report.csv", "flash-crowd", true),
+            "results.v1/report-flash-crowd.csv"
+        );
+        assert_eq!(
+            output_path("./report", "flash-crowd", true),
+            "./report-flash-crowd"
+        );
+        assert_eq!(output_path("report", "x", true), "report-x");
+    }
+
+    #[test]
+    fn help_flag_parses_as_a_success() {
+        let args = parse_args(&["--help".to_string()]).unwrap();
+        assert!(args.help);
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+    }
+}

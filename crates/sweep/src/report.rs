@@ -1,0 +1,246 @@
+//! The unified result of a sweep run, with JSON / CSV / table rendering.
+
+use cellsim::{Metrics, SummaryStats};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated result of one `(controller, load)` cell across all
+/// replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointReport {
+    /// The load point (number of requesting connections).
+    pub load: usize,
+    /// Percentage of accepted calls (0–100) across replications.
+    pub acceptance: SummaryStats,
+    /// Blocking probability in `[0, 1]` across replications.
+    pub blocking: SummaryStats,
+    /// Dropping probability among admitted calls across replications.
+    pub dropping: SummaryStats,
+    /// Raw counters merged over all replications (offered, accepted,
+    /// per-class breakdowns, handoffs, …).
+    pub merged: Metrics,
+}
+
+/// One controller's curve over the load axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveReport {
+    /// Controller label (e.g. "FACS-P").
+    pub controller: String,
+    /// One aggregated point per swept load, in axis order.
+    pub points: Vec<PointReport>,
+}
+
+/// The unified report of one scenario run: every controller's aggregated
+/// curve plus enough provenance (scenario name, seed, replication count)
+/// to reproduce it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the scenario that produced this report.
+    pub scenario: String,
+    /// The scenario's one-line description.
+    pub description: String,
+    /// Replications aggregated per point.
+    pub replications: usize,
+    /// Base seed the per-replication seeds were derived from.
+    pub base_seed: u64,
+    /// The swept load axis.
+    pub load_points: Vec<usize>,
+    /// One curve per controller, in spec order.
+    pub curves: Vec<CurveReport>,
+}
+
+/// Quote a CSV field when it contains a comma, quote or newline
+/// (RFC 4180); scenario names and controller labels are free-form text.
+fn csv_field(raw: &str) -> String {
+    if raw.contains(',') || raw.contains('"') || raw.contains('\n') {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
+impl RunReport {
+    /// `true` when the report carries no data points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.curves.iter().all(|c| c.points.is_empty())
+    }
+
+    /// Look up a controller's curve by label.
+    #[must_use]
+    pub fn curve(&self, controller: &str) -> Option<&CurveReport> {
+        self.curves.iter().find(|c| c.controller == controller)
+    }
+
+    /// Serialise to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Flatten to CSV: one row per `(controller, load)` cell.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,controller,load,replications,\
+             acceptance_mean,acceptance_std,acceptance_ci95_lo,acceptance_ci95_hi,\
+             blocking_mean,dropping_mean,\
+             offered,accepted,blocked,dropped,completed,\
+             handoff_offered,handoff_accepted,handoff_failed\n",
+        );
+        for curve in &self.curves {
+            for p in &curve.points {
+                let (ho, ha, hf) = p.merged.handoffs();
+                out.push_str(&format!(
+                    "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{}\n",
+                    csv_field(&self.scenario),
+                    csv_field(&curve.controller),
+                    p.load,
+                    self.replications,
+                    p.acceptance.mean,
+                    p.acceptance.std_dev,
+                    p.acceptance.ci95_lo,
+                    p.acceptance.ci95_hi,
+                    p.blocking.mean,
+                    p.dropping.mean,
+                    p.merged.offered(),
+                    p.merged.accepted(),
+                    p.merged.blocked(),
+                    p.merged.dropped(),
+                    p.merged.completed(),
+                    ho,
+                    ha,
+                    hf,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render a plain-text table: one row per load point, one
+    /// `mean ± ci95` column per controller.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let title = format!(
+            "{} — % accepted calls (mean ± 95% CI over {} replications, seed {:#x})",
+            self.scenario, self.replications, self.base_seed
+        );
+        let mut out = String::new();
+        out.push_str(&title);
+        out.push('\n');
+        out.push_str(&"=".repeat(title.len()));
+        out.push('\n');
+        if self.curves.is_empty() {
+            out.push_str("(no curves)\n");
+            return out;
+        }
+        out.push_str(&format!("{:>8}", "load"));
+        for c in &self.curves {
+            out.push_str(&format!("  {:>22}", c.controller));
+        }
+        out.push('\n');
+        for (i, load) in self.load_points.iter().enumerate() {
+            out.push_str(&format!("{load:>8}"));
+            for c in &self.curves {
+                match c.points.get(i) {
+                    Some(p) => out.push_str(&format!(
+                        "  {:>13.1}% ± {:>4.1}%",
+                        p.acceptance.mean,
+                        p.acceptance.ci95_hi - p.acceptance.mean
+                    )),
+                    None => out.push_str(&format!("  {:>22}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellsim::StatAccumulator;
+
+    fn sample() -> RunReport {
+        let mut acc = StatAccumulator::new();
+        acc.push(90.0);
+        acc.push(94.0);
+        let point = |load| PointReport {
+            load,
+            acceptance: acc.summary(),
+            blocking: StatAccumulator::new().summary(),
+            dropping: StatAccumulator::new().summary(),
+            merged: Metrics::new(),
+        };
+        RunReport {
+            scenario: "unit-test".into(),
+            description: "sample".into(),
+            replications: 2,
+            base_seed: 7,
+            load_points: vec![10, 20],
+            curves: vec![CurveReport {
+                controller: "FACS-P".into(),
+                points: vec![point(10), point(20)],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = sample();
+        assert!(!r.is_empty());
+        assert!(r.curve("FACS-P").is_some());
+        assert!(r.curve("nope").is_none());
+        let empty = RunReport {
+            curves: vec![],
+            ..r.clone()
+        };
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let json = r.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["scenario"], "unit-test");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 points");
+        assert!(lines[0].starts_with("scenario,controller,load"));
+        assert!(lines[1].starts_with("unit-test,FACS-P,10,2,92.0"));
+    }
+
+    #[test]
+    fn csv_quotes_free_form_names() {
+        let mut r = sample();
+        r.scenario = "rush hour, v2".into();
+        r.curves[0].controller = "say \"hi\"".into();
+        let csv = r.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(
+            row.starts_with("\"rush hour, v2\",\"say \"\"hi\"\"\",10,"),
+            "fields with commas/quotes must be RFC 4180-quoted: {row}"
+        );
+    }
+
+    #[test]
+    fn table_renders_means_and_cis() {
+        let table = sample().render_table();
+        assert!(table.contains("unit-test"));
+        assert!(table.contains("FACS-P"));
+        assert!(table.contains("92.0%"));
+        assert!(table.contains("±"));
+        let empty = RunReport {
+            curves: vec![],
+            ..sample()
+        };
+        assert!(empty.render_table().contains("(no curves)"));
+    }
+}

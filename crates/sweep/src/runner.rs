@@ -1,0 +1,248 @@
+//! The deterministic parallel experiment engine.
+//!
+//! A [`SweepRunner`] expands a [`ScenarioSpec`] into its grid of
+//! `(controller, load point, replication)` cells, fans the cells out across
+//! `std::thread` workers, and folds the finished cells into a
+//! [`RunReport`].  Two properties make the engine deterministic:
+//!
+//! 1. every cell is **self-seeded** — its RNG stream comes from
+//!    [`ScenarioSpec::seed_for`], never from shared state, so a cell
+//!    computes the same result no matter which worker runs it or when;
+//! 2. aggregation is **order-fixed** — workers only *store* finished cells
+//!    (indexed by their position in the grid); the merge into means,
+//!    standard deviations and confidence intervals happens after all
+//!    workers join, walking the grid in replication order.
+//!
+//! Together these make the report **bit-identical** for any worker count,
+//! which `tests/determinism.rs` asserts for 1, 2 and 4 threads.
+
+use crate::report::{CurveReport, PointReport, RunReport};
+use crate::spec::{LoadMode, ScenarioSpec, SpecError};
+use cellsim::sim::Simulator;
+use cellsim::{Metrics, StatAccumulator};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Result of one finished `(controller, load, replication)` cell.
+#[derive(Debug, Clone)]
+struct CellOutcome {
+    acceptance_percentage: f64,
+    blocking_probability: f64,
+    dropping_probability: f64,
+    metrics: Metrics,
+}
+
+/// The parallel sweep engine.  See the module docs for the determinism
+/// guarantees.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// An engine sized to the machine (`std::thread::available_parallelism`,
+    /// capped at 16 workers).
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(16);
+        Self::with_threads(threads)
+    }
+
+    /// An engine with an explicit worker count (floored at 1).  The worker
+    /// count only affects wall-clock time, never results.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `spec` end to end and aggregate the result.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<RunReport, SpecError> {
+        spec.validate()?;
+        let n_controllers = spec.controllers.len();
+        let n_points = spec.load_points.len();
+        let n_reps = spec.replications;
+        let total = n_controllers * n_points * n_reps;
+
+        // Cell index layout: controller-major, then load point, then
+        // replication — the same order aggregation walks below.
+        let cells: Mutex<Vec<Option<CellOutcome>>> = Mutex::new(vec![None; total]);
+        let next_cell = AtomicUsize::new(0);
+        let workers = self.threads.min(total.max(1));
+
+        let run_cell = |index: usize| {
+            let rep = index % n_reps;
+            let point = (index / n_reps) % n_points;
+            let controller_idx = index / (n_reps * n_points);
+            let load = spec.load_points[point];
+            let mut controller = spec.controllers[controller_idx].build();
+            let mut sim = Simulator::new(spec.sim_config(load, rep));
+            let report = match spec.load_mode {
+                LoadMode::Batch => sim.run_batch(controller.as_mut(), load),
+                LoadMode::RequestsPerWindow { .. } | LoadMode::TotalRequests => {
+                    sim.run_poisson(controller.as_mut(), load)
+                }
+            };
+            CellOutcome {
+                acceptance_percentage: report.acceptance_percentage,
+                blocking_probability: report.blocking_probability,
+                dropping_probability: report.dropping_probability,
+                metrics: report.metrics,
+            }
+        };
+
+        let worker_loop = || loop {
+            let index = next_cell.fetch_add(1, Ordering::Relaxed);
+            if index >= total {
+                break;
+            }
+            let outcome = run_cell(index);
+            cells.lock().expect("cell store poisoned")[index] = Some(outcome);
+        };
+
+        if workers <= 1 {
+            worker_loop();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker_loop);
+                }
+            });
+        }
+
+        let cells = cells.into_inner().expect("cell store poisoned");
+        let mut curves = Vec::with_capacity(n_controllers);
+        for (controller_idx, controller) in spec.controllers.iter().enumerate() {
+            let mut points = Vec::with_capacity(n_points);
+            for (point, &load) in spec.load_points.iter().enumerate() {
+                let mut acceptance = StatAccumulator::new();
+                let mut blocking = StatAccumulator::new();
+                let mut dropping = StatAccumulator::new();
+                let mut merged = Metrics::new();
+                // Replication order is fixed here; worker scheduling cannot
+                // influence it.
+                for rep in 0..n_reps {
+                    let index = (controller_idx * n_points + point) * n_reps + rep;
+                    let outcome = cells[index]
+                        .as_ref()
+                        .expect("every cell is filled before workers join");
+                    acceptance.push(outcome.acceptance_percentage);
+                    blocking.push(outcome.blocking_probability);
+                    dropping.push(outcome.dropping_probability);
+                    merged.merge(&outcome.metrics);
+                }
+                points.push(PointReport {
+                    load,
+                    acceptance: acceptance.summary(),
+                    blocking: blocking.summary(),
+                    dropping: dropping.summary(),
+                    merged,
+                });
+            }
+            curves.push(CurveReport {
+                controller: controller.label(),
+                points,
+            });
+        }
+
+        Ok(RunReport {
+            scenario: spec.name.clone(),
+            description: spec.description.clone(),
+            replications: n_reps,
+            base_seed: spec.base_seed,
+            load_points: spec.load_points.clone(),
+            curves,
+        })
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::builtin;
+    use crate::spec::ControllerSpec;
+
+    fn tiny_spec() -> ScenarioSpec {
+        builtin("paper-default")
+            .unwrap()
+            .with_load_points(vec![10, 60])
+            .with_replications(2)
+            .with_controllers(vec![ControllerSpec::FacsP, ControllerSpec::AlwaysAccept])
+    }
+
+    #[test]
+    fn report_shape_matches_the_spec() {
+        let spec = tiny_spec();
+        let report = SweepRunner::with_threads(2).run(&spec).unwrap();
+        assert_eq!(report.scenario, "paper-default");
+        assert_eq!(report.curves.len(), 2);
+        assert_eq!(report.load_points, vec![10, 60]);
+        for curve in &report.curves {
+            assert_eq!(curve.points.len(), 2);
+            for p in &curve.points {
+                assert_eq!(p.acceptance.n, 2);
+                assert!(p.acceptance.mean >= 0.0 && p.acceptance.mean <= 100.0);
+                assert_eq!(
+                    p.merged.offered(),
+                    2 * p.load as u64,
+                    "merged counters cover every replication"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let spec = tiny_spec();
+        let one = SweepRunner::with_threads(1).run(&spec).unwrap();
+        let three = SweepRunner::with_threads(3).run(&spec).unwrap();
+        let many = SweepRunner::with_threads(64).run(&spec).unwrap();
+        assert_eq!(one, three);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn controllers_share_identical_arrival_sequences() {
+        // New-call offered counts must match exactly across controllers at
+        // every point: same (load, replication) cell ⇒ same seed ⇒ same
+        // arrivals, the pairing the paper's comparisons rely on.  (Handoff
+        // re-offers can differ, since they depend on admission decisions —
+        // the single-cell paper-default scenario has none.)
+        let report = SweepRunner::with_threads(2).run(&tiny_spec()).unwrap();
+        let facs_p = report.curve("FACS-P").unwrap();
+        let upper = report.curve("always-accept").unwrap();
+        for (a, b) in facs_p.points.iter().zip(&upper.points) {
+            assert_eq!(a.merged.offered(), b.merged.offered());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_spawning() {
+        let spec = tiny_spec().with_controllers(vec![]);
+        assert!(SweepRunner::new().run(&spec).is_err());
+    }
+
+    #[test]
+    fn thread_count_is_floored_and_capped() {
+        assert_eq!(SweepRunner::with_threads(0).threads(), 1);
+        assert!(SweepRunner::new().threads() >= 1);
+        assert!(SweepRunner::new().threads() <= 16);
+    }
+}

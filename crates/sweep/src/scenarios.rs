@@ -1,0 +1,257 @@
+//! The built-in scenario library.
+//!
+//! Five ready-to-run [`ScenarioSpec`]s covering the paper's evaluation and
+//! the workloads the ROADMAP asks the system to grow into.  Each is a
+//! plain value: fetch it with [`builtin`], tweak it with the spec's
+//! builders, or dump it with [`ScenarioSpec::to_json`] as a starting point
+//! for a custom spec file.
+
+use crate::spec::{ControllerSpec, LoadMode, ScenarioSpec};
+use cellsim::traffic::{TrafficConfig, TrafficMix};
+use cellsim::MobilityModel;
+
+/// Names of all built-in scenarios, in presentation order.
+#[must_use]
+pub fn builtin_names() -> &'static [&'static str] {
+    &[
+        "paper-default",
+        "highway-handoff",
+        "downtown-hotspot",
+        "flash-crowd",
+        "mixed-multimedia",
+    ]
+}
+
+/// Fetch a built-in scenario by name; `None` for unknown names.
+#[must_use]
+pub fn builtin(name: &str) -> Option<ScenarioSpec> {
+    match name {
+        "paper-default" => Some(paper_default()),
+        "highway-handoff" => Some(highway_handoff()),
+        "downtown-hotspot" => Some(downtown_hotspot()),
+        "flash-crowd" => Some(flash_crowd()),
+        "mixed-multimedia" => Some(mixed_multimedia()),
+        _ => None,
+    }
+}
+
+/// Every built-in scenario, in presentation order.
+#[must_use]
+pub fn all_builtins() -> Vec<ScenarioSpec> {
+    builtin_names()
+        .iter()
+        .map(|n| builtin(n).expect("builtin_names lists only builtins"))
+        .collect()
+}
+
+/// The paper's evaluation setup (Figs. 7–10): one 40-BU cell, the
+/// 70/20/10 % text/voice/video mix, 0–120 km/h users, 10–100 requesting
+/// connections over a 450-second window, 20 replications.
+fn paper_default() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "paper-default".to_string(),
+        description: "Single 40-BU cell, 70/20/10 multimedia mix, the paper's \
+                      requesting-connections sweep"
+            .to_string(),
+        grid_radius_cells: 0,
+        cell_radius_m: 1000.0,
+        station_capacity: 40,
+        traffic: TrafficConfig {
+            mean_holding_s: 180.0,
+            direction_predictability: 1.0,
+            ..TrafficConfig::paper_default()
+        },
+        mobility: MobilityModel::paper_default(),
+        utilization_sample_interval_s: 0.0,
+        controllers: vec![
+            ControllerSpec::FacsP,
+            ControllerSpec::Facs,
+            ControllerSpec::Scc,
+        ],
+        load_mode: LoadMode::RequestsPerWindow { window_s: 450.0 },
+        load_points: (1..=10).map(|i| i * 10).collect(),
+        replications: 20,
+        base_seed: 0x2009,
+    }
+}
+
+/// Fast vehicular users crossing a 19-cell network with small cells: calls
+/// hand off several times during their lifetime, so the dropping
+/// probability — the QoS violation the paper's controllers are designed to
+/// avoid — dominates the comparison.
+fn highway_handoff() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "highway-handoff".to_string(),
+        description: "19 hexagonal cells of 300 m, 60-120 km/h users, long calls; \
+                      handoff protection under saturation"
+            .to_string(),
+        grid_radius_cells: 2,
+        cell_radius_m: 300.0,
+        station_capacity: 40,
+        traffic: TrafficConfig {
+            mean_interarrival_s: 1.0,
+            mean_holding_s: 300.0,
+            min_speed_kmh: 60.0,
+            max_speed_kmh: 120.0,
+            direction_predictability: 1.0,
+            ..TrafficConfig::paper_default()
+        },
+        mobility: MobilityModel::ConstantVelocity,
+        utilization_sample_interval_s: 60.0,
+        controllers: vec![
+            ControllerSpec::FacsP,
+            ControllerSpec::Facs,
+            ControllerSpec::Scc,
+            ControllerSpec::AlwaysAccept,
+        ],
+        load_mode: LoadMode::TotalRequests,
+        load_points: vec![500, 1000, 2000],
+        replications: 5,
+        base_seed: 0xCAFE,
+    }
+}
+
+/// A dense urban core: a 7-cell cluster of small cells, slow (pedestrian)
+/// users whose heading wanders, and sustained overload — the regime where
+/// direction prediction is hardest for the FLC1 cascade.
+fn downtown_hotspot() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "downtown-hotspot".to_string(),
+        description: "7-cell downtown cluster, 0-15 km/h pedestrians with wandering \
+                      headings, sustained overload"
+            .to_string(),
+        grid_radius_cells: 1,
+        cell_radius_m: 250.0,
+        station_capacity: 40,
+        traffic: TrafficConfig {
+            mean_interarrival_s: 2.0,
+            mean_holding_s: 240.0,
+            min_speed_kmh: 0.0,
+            max_speed_kmh: 15.0,
+            ..TrafficConfig::paper_default()
+        },
+        mobility: MobilityModel::RandomDirection { max_turn_deg: 60.0 },
+        utilization_sample_interval_s: 60.0,
+        controllers: vec![
+            ControllerSpec::FacsP,
+            ControllerSpec::Facs,
+            ControllerSpec::Scc,
+        ],
+        load_mode: LoadMode::TotalRequests,
+        load_points: vec![300, 600, 1200],
+        replications: 8,
+        base_seed: 0xD057,
+    }
+}
+
+/// A stadium flash crowd: everyone requests admission at once against a
+/// single cell, so the batch size is the load axis and capacity is the
+/// binding resource from the first request on.
+fn flash_crowd() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "flash-crowd".to_string(),
+        description: "Stadium flash crowd: simultaneous batch arrivals against one \
+                      40-BU cell, growing crowd size"
+            .to_string(),
+        grid_radius_cells: 0,
+        cell_radius_m: 500.0,
+        station_capacity: 40,
+        traffic: TrafficConfig {
+            mean_holding_s: 120.0,
+            min_speed_kmh: 0.0,
+            max_speed_kmh: 6.0,
+            ..TrafficConfig::paper_default()
+        },
+        mobility: MobilityModel::paper_default(),
+        utilization_sample_interval_s: 0.0,
+        controllers: vec![
+            ControllerSpec::FacsP,
+            ControllerSpec::AlwaysAccept,
+            ControllerSpec::Threshold {
+                new_call: 0.8,
+                handoff: 1.0,
+            },
+        ],
+        load_mode: LoadMode::Batch,
+        load_points: vec![20, 40, 80, 160, 320],
+        replications: 10,
+        base_seed: 0xF1A5,
+    }
+}
+
+/// A video-heavy multimedia mix (streaming era): half the paper's text
+/// share moves to voice and video, so large 10-BU requests contend for the
+/// same 40-BU cell and per-class fairness becomes the interesting output.
+fn mixed_multimedia() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mixed-multimedia".to_string(),
+        description: "Video-heavy 40/30/30 mix in one 40-BU cell: large requests \
+                      contend, per-class fairness under load"
+            .to_string(),
+        grid_radius_cells: 0,
+        cell_radius_m: 1000.0,
+        station_capacity: 40,
+        traffic: TrafficConfig {
+            mix: TrafficMix::new(0.4, 0.3, 0.3),
+            mean_holding_s: 180.0,
+            direction_predictability: 1.0,
+            ..TrafficConfig::paper_default()
+        },
+        mobility: MobilityModel::paper_default(),
+        utilization_sample_interval_s: 0.0,
+        controllers: vec![
+            ControllerSpec::FacsP,
+            ControllerSpec::Facs,
+            ControllerSpec::Scc,
+        ],
+        load_mode: LoadMode::RequestsPerWindow { window_s: 450.0 },
+        load_points: (1..=8).map(|i| i * 10).collect(),
+        replications: 12,
+        base_seed: 0x3D1A,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_is_valid_and_named_consistently() {
+        for name in builtin_names() {
+            let spec = builtin(name).unwrap();
+            assert_eq!(&spec.name, name);
+            spec.validate().unwrap();
+            assert!(!spec.description.is_empty());
+            assert!(!spec.controllers.is_empty());
+        }
+        assert_eq!(all_builtins().len(), builtin_names().len());
+        assert!(builtin("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn library_covers_every_load_mode() {
+        let modes: Vec<&str> = all_builtins()
+            .iter()
+            .map(|s| match s.load_mode {
+                LoadMode::RequestsPerWindow { .. } => "window",
+                LoadMode::TotalRequests => "total",
+                LoadMode::Batch => "batch",
+            })
+            .collect();
+        assert!(modes.contains(&"window"));
+        assert!(modes.contains(&"total"));
+        assert!(modes.contains(&"batch"));
+    }
+
+    #[test]
+    fn paper_default_matches_the_paper_axes() {
+        let spec = builtin("paper-default").unwrap();
+        assert_eq!(spec.station_capacity, 40);
+        assert_eq!(spec.grid_radius_cells, 0);
+        assert_eq!(
+            spec.load_points,
+            vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        );
+        assert_eq!(spec.replications, 20);
+    }
+}

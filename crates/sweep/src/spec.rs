@@ -1,0 +1,413 @@
+//! Declarative experiment descriptions.
+//!
+//! A [`ScenarioSpec`] captures *everything* a full experiment needs — the
+//! network (grid size, cell radius, station capacity), the workload
+//! (traffic mix, mobility ranges, load axis), the admission controllers to
+//! compare, and the statistical design (replication count, base seed) — as
+//! one serde-serializable value.  A spec can therefore live in a JSON file,
+//! be shipped to another machine, and reproduce the exact same numbers,
+//! because every random draw of every replication is derived from the
+//! spec's `base_seed` by a fixed rule ([`ScenarioSpec::seed_for`]).
+
+use cellsim::sim::{AdmissionController, AlwaysAccept, CapacityThreshold, SimConfig};
+use cellsim::traffic::TrafficConfig;
+use cellsim::{Bandwidth, MobilityModel};
+use facs::{FacsController, FacsPController};
+use scc::SccAdmission;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which admission controller a scenario runs (the controller factory:
+/// every variant knows how to build its boxed [`AdmissionController`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControllerSpec {
+    /// The proposed FACS-P controller.
+    FacsP,
+    /// The authors' previous FACS controller.
+    Facs,
+    /// The Shadow Cluster Concept baseline.
+    Scc,
+    /// Admit-if-it-fits upper bound.
+    AlwaysAccept,
+    /// Guard-channel style utilisation threshold.
+    Threshold {
+        /// Maximum post-admission utilisation for new calls, in `[0, 1]`.
+        new_call: f64,
+        /// Maximum post-admission utilisation for handoffs, in `[0, 1]`.
+        handoff: f64,
+    },
+}
+
+impl ControllerSpec {
+    /// Label used in reports and figure series.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ControllerSpec::FacsP => "FACS-P".to_string(),
+            ControllerSpec::Facs => "FACS".to_string(),
+            ControllerSpec::Scc => "SCC".to_string(),
+            ControllerSpec::AlwaysAccept => "always-accept".to_string(),
+            ControllerSpec::Threshold { new_call, handoff } => {
+                format!("threshold({new_call:.2}/{handoff:.2})")
+            }
+        }
+    }
+
+    /// Instantiate a fresh controller for one replication.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn AdmissionController> {
+        match self {
+            ControllerSpec::FacsP => FacsPController::boxed_paper_default(),
+            ControllerSpec::Facs => FacsController::boxed_paper_default(),
+            ControllerSpec::Scc => SccAdmission::boxed_paper_default(),
+            ControllerSpec::AlwaysAccept => Box::new(AlwaysAccept),
+            ControllerSpec::Threshold { new_call, handoff } => {
+                Box::new(CapacityThreshold::new(*new_call, *handoff))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ControllerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// How a load point `n` translates into offered traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LoadMode {
+    /// The paper's figure shape: `n` requesting connections arrive over a
+    /// fixed observation window (`mean_interarrival_s = window_s / n`),
+    /// driven through the Poisson event loop.
+    RequestsPerWindow {
+        /// Observation window length (seconds).
+        window_s: f64,
+    },
+    /// `n` Poisson arrivals at the inter-arrival time already configured in
+    /// the spec's [`TrafficConfig`] — the load axis is the run length.
+    TotalRequests,
+    /// `n` requests all offered at time zero against the origin cell (the
+    /// paper's batch shape; capacity is the binding resource).
+    Batch,
+}
+
+/// Errors produced when validating or loading a [`ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A structural problem with the spec (empty axis, zero capacity, …).
+    Invalid(String),
+    /// The spec could not be parsed from JSON.
+    Parse(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Invalid(msg) => write!(f, "invalid scenario spec: {msg}"),
+            SpecError::Parse(msg) => write!(f, "could not parse scenario spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A complete, serializable description of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports and file names).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Radius of the hexagonal grid in cells (0 = the paper's single cell).
+    pub grid_radius_cells: u32,
+    /// Cell radius in metres.
+    pub cell_radius_m: f64,
+    /// Capacity of every base station (BU).
+    pub station_capacity: Bandwidth,
+    /// Workload parameters: service mix, holding times, speed and angle
+    /// ranges, handoff fraction, direction predictability.  When the load
+    /// mode is [`LoadMode::RequestsPerWindow`] the configured
+    /// `mean_interarrival_s` is overridden per load point.
+    pub traffic: TrafficConfig,
+    /// Mobility model for admitted users in multi-cell runs.
+    pub mobility: MobilityModel,
+    /// Interval between utilisation samples (seconds); 0 disables sampling.
+    pub utilization_sample_interval_s: f64,
+    /// The controllers to compare.  Every controller sees the identical
+    /// arrival sequence at each (load, replication) point, so comparisons
+    /// are paired exactly like the paper's Fig. 7 / Fig. 10 methodology.
+    pub controllers: Vec<ControllerSpec>,
+    /// How a load point translates into offered traffic.
+    pub load_mode: LoadMode,
+    /// The load axis: numbers of requesting connections to sweep.
+    pub load_points: Vec<usize>,
+    /// Independent replications (distinct seeds) aggregated per point.
+    pub replications: usize,
+    /// Base RNG seed; see [`ScenarioSpec::seed_for`] for the derivation.
+    pub base_seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The seed of one `(load, replication)` cell:
+    /// `base_seed + 1000·load + replication` (wrapping).  Every controller
+    /// reuses the same seed at the same cell, so arrival sequences are
+    /// shared and comparisons are paired; the derivation is part of the
+    /// spec format and must not change, or published results stop being
+    /// reproducible from their specs.
+    #[must_use]
+    pub fn seed_for(&self, load: usize, replication: usize) -> u64 {
+        self.base_seed
+            .wrapping_add(1000u64.wrapping_mul(load as u64))
+            .wrapping_add(replication as u64)
+    }
+
+    /// The simulator configuration of one `(load, replication)` cell.
+    #[must_use]
+    pub fn sim_config(&self, load: usize, replication: usize) -> SimConfig {
+        let mut traffic = self.traffic.clone();
+        if let LoadMode::RequestsPerWindow { window_s } = self.load_mode {
+            traffic.mean_interarrival_s = if load == 0 {
+                window_s
+            } else {
+                window_s / load as f64
+            };
+        }
+        SimConfig::paper_default()
+            .with_grid_radius(self.grid_radius_cells)
+            .with_cell_radius(self.cell_radius_m)
+            .with_capacity(self.station_capacity)
+            .with_traffic(traffic)
+            .with_mobility(self.mobility.clone())
+            .with_utilization_sampling(self.utilization_sample_interval_s)
+            .with_seed(self.seed_for(load, replication))
+    }
+
+    /// Check the spec is runnable.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::Invalid("scenario name is empty".into()));
+        }
+        if self.controllers.is_empty() {
+            return Err(SpecError::Invalid("no controllers configured".into()));
+        }
+        if self.load_points.is_empty() {
+            return Err(SpecError::Invalid("load axis is empty".into()));
+        }
+        if self.load_points.contains(&0) {
+            return Err(SpecError::Invalid("load points must be positive".into()));
+        }
+        if self.replications == 0 {
+            return Err(SpecError::Invalid("replications must be at least 1".into()));
+        }
+        if self.replications > 1000 {
+            // seed_for spaces load points 1000 seeds apart; more
+            // replications than that would make adjacent load points share
+            // seeds, silently correlating their "independent" replications.
+            return Err(SpecError::Invalid(
+                "replications must be at most 1000 (seed streams are spaced 1000 apart)".into(),
+            ));
+        }
+        if self.station_capacity == 0 {
+            return Err(SpecError::Invalid("station capacity is zero".into()));
+        }
+        if let LoadMode::RequestsPerWindow { window_s } = self.load_mode {
+            if !(window_s.is_finite() && window_s > 0.0) {
+                return Err(SpecError::Invalid(format!(
+                    "observation window must be positive, got {window_s}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A cheaper variant for CI smoke runs: at most three load points
+    /// (first, middle, last) and at most three replications.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        if self.load_points.len() > 3 {
+            let first = *self.load_points.first().expect("non-empty");
+            let mid = self.load_points[self.load_points.len() / 2];
+            let last = *self.load_points.last().expect("non-empty");
+            self.load_points = vec![first, mid, last];
+            self.load_points.dedup();
+        }
+        self.replications = self.replications.clamp(1, 3);
+        self
+    }
+
+    /// Override the base seed.
+    #[must_use]
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Override the replication count (at least 1).
+    #[must_use]
+    pub fn with_replications(mut self, replications: usize) -> Self {
+        self.replications = replications.max(1);
+        self
+    }
+
+    /// Override the load axis.
+    #[must_use]
+    pub fn with_load_points(mut self, points: Vec<usize>) -> Self {
+        self.load_points = points;
+        self
+    }
+
+    /// Override the controller list.
+    #[must_use]
+    pub fn with_controllers(mut self, controllers: Vec<ControllerSpec>) -> Self {
+        self.controllers = controllers;
+        self
+    }
+
+    /// Serialise to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Parse a spec from JSON and validate it.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: ScenarioSpec =
+            serde_json::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::builtin;
+
+    #[test]
+    fn controller_specs_build_matching_controllers() {
+        for (spec, expected_name) in [
+            (ControllerSpec::FacsP, "facs-p"),
+            (ControllerSpec::Facs, "facs"),
+            (ControllerSpec::Scc, "scc"),
+            (ControllerSpec::AlwaysAccept, "always-accept"),
+            (
+                ControllerSpec::Threshold {
+                    new_call: 0.8,
+                    handoff: 1.0,
+                },
+                "capacity-threshold",
+            ),
+        ] {
+            assert_eq!(spec.build().name(), expected_name);
+            assert!(!spec.label().is_empty());
+        }
+        assert_eq!(
+            ControllerSpec::Threshold {
+                new_call: 0.8,
+                handoff: 1.0
+            }
+            .to_string(),
+            "threshold(0.80/1.00)"
+        );
+    }
+
+    #[test]
+    fn seed_derivation_is_the_documented_rule() {
+        let spec = builtin("paper-default").unwrap().with_base_seed(100);
+        assert_eq!(spec.seed_for(10, 0), 100 + 10_000);
+        assert_eq!(spec.seed_for(10, 7), 100 + 10_007);
+        // Wrapping, never panicking.
+        let spec = spec.with_base_seed(u64::MAX);
+        let _ = spec.seed_for(usize::MAX, usize::MAX);
+    }
+
+    #[test]
+    fn requests_per_window_scales_interarrival() {
+        let spec = builtin("paper-default").unwrap();
+        let LoadMode::RequestsPerWindow { window_s } = spec.load_mode else {
+            panic!("paper-default sweeps requests per window");
+        };
+        let cfg = spec.sim_config(50, 0);
+        assert!((cfg.traffic.mean_interarrival_s - window_s / 50.0).abs() < 1e-12);
+        assert_eq!(cfg.seed, spec.seed_for(50, 0));
+        assert_eq!(cfg.station_capacity, spec.station_capacity);
+    }
+
+    #[test]
+    fn total_requests_keeps_configured_interarrival() {
+        let mut spec = builtin("highway-handoff").unwrap();
+        spec.load_mode = LoadMode::TotalRequests;
+        let expected = spec.traffic.mean_interarrival_s;
+        let cfg = spec.sim_config(500, 2);
+        assert_eq!(cfg.traffic.mean_interarrival_s, expected);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let good = builtin("paper-default").unwrap();
+        assert!(good.validate().is_ok());
+        assert!(good.clone().with_controllers(vec![]).validate().is_err());
+        assert!(good.clone().with_load_points(vec![]).validate().is_err());
+        assert!(good
+            .clone()
+            .with_load_points(vec![10, 0])
+            .validate()
+            .is_err());
+        let mut zero_cap = good.clone();
+        zero_cap.station_capacity = 0;
+        assert!(zero_cap.validate().is_err());
+        let mut too_many_reps = good.clone();
+        too_many_reps.replications = 1001;
+        assert!(
+            too_many_reps.validate().is_err(),
+            "replications beyond the 1000-seed spacing would collide"
+        );
+        assert!(good.clone().with_replications(1000).validate().is_ok());
+        let mut bad_window = good.clone();
+        bad_window.load_mode = LoadMode::RequestsPerWindow { window_s: -1.0 };
+        assert!(bad_window.validate().is_err());
+        let mut unnamed = good;
+        unnamed.name.clear();
+        assert!(unnamed.validate().is_err());
+    }
+
+    #[test]
+    fn quick_shrinks_points_and_replications() {
+        let spec = builtin("paper-default").unwrap();
+        let quick = spec.clone().quick();
+        assert!(quick.load_points.len() <= 3);
+        assert!(quick.replications <= 3);
+        assert_eq!(
+            quick.load_points.first(),
+            spec.load_points.first(),
+            "quick keeps the endpoints"
+        );
+        assert_eq!(quick.load_points.last(), spec.load_points.last());
+        assert!(quick.validate().is_ok());
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for name in crate::scenarios::builtin_names() {
+            let spec = builtin(name).unwrap();
+            let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec, "{name} must round-trip");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_invalid_specs() {
+        assert!(matches!(
+            ScenarioSpec::from_json("not json"),
+            Err(SpecError::Parse(_))
+        ));
+        let mut spec = builtin("paper-default").unwrap();
+        spec.replications = 0;
+        assert!(matches!(
+            ScenarioSpec::from_json(&spec.to_json()),
+            Err(SpecError::Invalid(_))
+        ));
+    }
+}

@@ -5,50 +5,60 @@
 //! ```text
 //! cargo run --release --example compare_controllers
 //! ```
+//!
+//! The workload is a single declarative [`ScenarioSpec`]; because the
+//! sweep engine seeds each `(load, replication)` cell once and reuses it
+//! for every controller, all four policies see *identical* arrival
+//! sequences — the paired methodology of the paper's Fig. 7 / Fig. 10.
 
 use facs_suite::prelude::*;
 
-/// Offer the *same* pre-generated arrival sequence to a controller and
-/// report its acceptance percentage.
-fn acceptance_on(requests: &[CallRequest], controller: &mut dyn AdmissionController) -> f64 {
-    let mut sim = Simulator::new(SimConfig::paper_default().with_seed(1));
-    sim.offer_requests(controller, requests);
-    sim.metrics().acceptance_percentage()
-}
-
 fn main() {
-    println!("Identical arrival sequences offered to every controller (40-BU cell)\n");
-    println!(
-        "{:>10}  {:>10}  {:>10}  {:>10}  {:>14}",
-        "requests", "FACS-P", "FACS", "SCC", "always-accept"
-    );
-
-    for n in [10usize, 25, 50, 75, 100] {
-        // One shared arrival sequence per load level so the comparison is
-        // paired, exactly like the paper's Fig. 7 / Fig. 10 methodology.
-        let traffic = TrafficConfig {
-            mean_interarrival_s: 450.0 / n as f64,
+    let spec = ScenarioSpec {
+        name: "compare-controllers".to_string(),
+        description: "Every policy against shared arrival sequences in one 40-BU cell".to_string(),
+        grid_radius_cells: 0,
+        cell_radius_m: 1000.0,
+        station_capacity: 40,
+        traffic: TrafficConfig {
             handoff_fraction: 0.3,
             direction_predictability: 1.0,
             ..TrafficConfig::paper_default()
-        };
-        let mut generator = TrafficGenerator::new(traffic, 42 + n as u64);
-        let requests = generator.generate_poisson(n);
+        },
+        mobility: MobilityModel::paper_default(),
+        utilization_sample_interval_s: 0.0,
+        controllers: vec![
+            ControllerSpec::FacsP,
+            ControllerSpec::Facs,
+            ControllerSpec::Scc,
+            ControllerSpec::AlwaysAccept,
+        ],
+        load_mode: LoadMode::RequestsPerWindow { window_s: 450.0 },
+        load_points: vec![10, 25, 50, 75, 100],
+        replications: 3,
+        base_seed: 42,
+    };
 
-        let facs_p = acceptance_on(&requests, &mut FacsPController::paper_default());
-        let facs = acceptance_on(&requests, &mut FacsController::paper_default());
-        let scc = acceptance_on(
-            &requests,
-            &mut SccAdmission::new(SccConfig::paper_default()),
-        );
-        let always = acceptance_on(&requests, &mut AlwaysAccept);
+    let report = SweepRunner::new().run(&spec).expect("spec is valid");
 
-        println!("{n:>10}  {facs_p:>9.1}%  {facs:>9.1}%  {scc:>9.1}%  {always:>13.1}%");
+    println!("Identical arrival sequences offered to every controller (40-BU cell)\n");
+    print!("{:>10}", "requests");
+    for curve in &report.curves {
+        print!("  {:>13}", curve.controller);
+    }
+    println!();
+    for (i, load) in report.load_points.iter().enumerate() {
+        print!("{load:>10}");
+        for curve in &report.curves {
+            print!("  {:>12.1}%", curve.points[i].acceptance.mean);
+        }
+        println!();
     }
 
     println!(
         "\nFACS-P trades new-call acceptance under load for protection of on-going \
          connections; run `cargo run -p facs-bench --bin all_figures` for the full \
-         reproduction of the paper's figures."
+         reproduction of the paper's figures, or `cargo run -p facs-sweep --bin sweep \
+         -- --list` for more scenarios."
     );
 }

@@ -6,61 +6,58 @@
 //!
 //! The paper's motivation for prioritising on-going connections is that
 //! dropping an active call at a handoff is far worse than blocking a new
-//! one.  This example builds a multi-cell network with small cells and
-//! fast (vehicular) users, so admitted calls hand off several times during
-//! their lifetime, and compares how well each admission policy protects
-//! them: the dropping probability and the handoff acceptance ratio.
+//! one.  This example runs the built-in `highway-handoff` scenario — a
+//! multi-cell network with small cells and fast (vehicular) users, so
+//! admitted calls hand off several times during their lifetime — through
+//! the `facs-sweep` engine and compares how well each admission policy
+//! protects on-going calls: the dropping probability and the handoff
+//! acceptance ratio, with a 95 % confidence interval over the replications.
 
 use facs_suite::prelude::*;
 
-fn run(label: &str, controller: &mut dyn AdmissionController, seed: u64) {
-    // 19 hexagonal cells of 300 m radius, saturated vehicular traffic.
-    let mut config = SimConfig::paper_default()
-        .with_seed(seed)
-        .with_grid_radius(2);
-    config.cell_radius_m = 300.0;
-    config.traffic = TrafficConfig {
-        mean_interarrival_s: 1.0,
-        mean_holding_s: 300.0,
-        min_speed_kmh: 60.0,
-        max_speed_kmh: 120.0,
-        ..TrafficConfig::paper_default()
-    };
-    config.utilization_sample_interval_s = 60.0;
-
-    let mut sim = Simulator::new(config);
-    let report = sim.run_poisson(controller, 2000);
-    let (handoffs_offered, handoffs_accepted, handoffs_failed) = report.metrics.handoffs();
-    println!(
-        "{label:<16} accepted {:>5.1}%  dropped {:>6.4}  handoffs {:>4}/{:<4} (failed {})  util {:>4.1}%",
-        report.acceptance_percentage,
-        report.dropping_probability,
-        handoffs_accepted,
-        handoffs_offered,
-        handoffs_failed,
-        100.0 * report.mean_utilization,
-    );
-}
-
 fn main() {
-    println!("Highway handoff scenario: 19 cells, 60-120 km/h users, saturated load\n");
+    // The whole experiment is one declarative value from the built-in
+    // library; trim the load axis so the example runs in a few seconds.
+    let spec = builtin("highway-handoff")
+        .expect("highway-handoff is built in")
+        .with_load_points(vec![2000])
+        .with_replications(3);
+
     println!(
-        "{:<16} {:>14}  {:>14}  {:>22}  {:>10}",
-        "controller", "acceptance", "drop prob.", "handoffs accepted", "mean util"
+        "Highway handoff scenario: 19 cells, 60-120 km/h users, {} requests, {} replications\n",
+        spec.load_points[0], spec.replications
     );
 
-    let seed = 0xCAFE;
-    run("facs-p", &mut FacsPController::paper_default(), seed);
-    run("facs", &mut FacsController::paper_default(), seed);
-    run(
-        "scc",
-        &mut SccAdmission::new(SccConfig::paper_default()),
-        seed,
+    let report = SweepRunner::new()
+        .run(&spec)
+        .expect("built-in scenarios are valid");
+
+    println!(
+        "{:<16} {:>16}  {:>18}  {:>18}",
+        "controller", "acceptance", "drop probability", "handoff acceptance"
     );
-    run("always-accept", &mut AlwaysAccept, seed);
+    for curve in &report.curves {
+        let point = &curve.points[0];
+        let (handoffs_offered, handoffs_accepted, _) = point.merged.handoffs();
+        let handoff_acceptance = if handoffs_offered == 0 {
+            1.0
+        } else {
+            handoffs_accepted as f64 / handoffs_offered as f64
+        };
+        println!(
+            "{:<16} {:>8.1}% ± {:>3.1}%  {:>8.4} ± {:>6.4}  {:>17.1}%",
+            curve.controller,
+            point.acceptance.mean,
+            point.acceptance.ci95_hi - point.acceptance.mean,
+            point.dropping.mean,
+            point.dropping.ci95_hi - point.dropping.mean,
+            100.0 * handoff_acceptance,
+        );
+    }
 
     println!(
         "\nLower dropping probability means better QoS protection for on-going \
-         connections — the paper's headline claim for FACS-P."
+         connections — the paper's headline claim for FACS-P.  Edit the spec \
+         (`sweep --print-spec highway-handoff`) to try other cell sizes or mixes."
     );
 }

@@ -7,7 +7,9 @@
 //! * [`cellsim`] — the discrete-event wireless cellular network simulator;
 //! * [`scc`] — the Shadow Cluster Concept admission baseline;
 //! * [`facs`] — the FACS and FACS-P fuzzy admission controllers (the
-//!   paper's contribution).
+//!   paper's contribution);
+//! * [`sweep`] — declarative scenario specs and the deterministic
+//!   parallel experiment engine (`facs-sweep`).
 //!
 //! # Quickstart
 //!
@@ -30,6 +32,7 @@ pub use cellsim;
 pub use facs;
 pub use fuzzy;
 pub use scc;
+pub use sweep;
 
 /// Commonly used types from every crate in the workspace.
 pub mod prelude {
@@ -37,8 +40,8 @@ pub mod prelude {
     pub use cellsim::{
         AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, BaseStation,
         CallRequest, CapacityThreshold, CellGrid, CellId, Metrics, MobilityModel, Point,
-        ServiceClass, SimConfig, SimReport, SimRng, Simulator, TrafficGenerator, TrafficMix,
-        UserState,
+        ServiceClass, SimConfig, SimReport, SimRng, Simulator, StatAccumulator, SummaryStats,
+        TrafficGenerator, TrafficMix, UserState,
     };
     pub use facs::{
         DifferentiatedService, FacsConfig, FacsController, FacsPConfig, FacsPController, Flc1,
@@ -46,6 +49,10 @@ pub mod prelude {
     };
     pub use fuzzy::prelude::*;
     pub use scc::{SccAdmission, SccConfig};
+    pub use sweep::{
+        all_builtins, builtin, builtin_names, ControllerSpec, CurveReport, LoadMode, PointReport,
+        RunReport, ScenarioSpec, SweepRunner,
+    };
 }
 
 #[cfg(test)]
