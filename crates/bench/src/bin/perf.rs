@@ -1,0 +1,72 @@
+//! Measure the admission hot path and write the `BENCH_perf.json`
+//! baseline.
+//!
+//! ```text
+//! cargo run --release -p facs-bench --bin perf -- [--quick] [--json [PATH]]
+//! ```
+//!
+//! `--quick` trims the iteration budget (the CI smoke mode); `--json`
+//! writes the report to `PATH` (default `BENCH_perf.json`) instead of only
+//! printing the table.  The process exits non-zero if the produced report
+//! is empty, so CI can gate on it.
+
+use bench::perf;
+
+struct Args {
+    quick: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        quick: false,
+        json: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--json" => {
+                // Optional value: `--json path` or bare `--json` for the
+                // default baseline file name.
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    args.json = Some(argv[i + 1].clone());
+                    i += 1;
+                } else {
+                    args.json = Some("BENCH_perf.json".to_string());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`; expected [--quick] [--json [PATH]]"
+                ));
+            }
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let report = perf::run(args.quick);
+    print!("{}", report.render_table());
+    if report.cases.is_empty() {
+        eprintln!("perf run produced no cases");
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -80,8 +80,9 @@ pub struct ExperimentConfig {
     /// Number of independent repetitions (different seeds) averaged per
     /// point.
     pub repetitions: usize,
-    /// Base RNG seed; repetition `r` of point `n` uses
-    /// `base_seed + 1000 * n + r`.
+    /// Base RNG seed; every `(controller, load point, repetition)` cell
+    /// derives its own stream via [`sweep::ScenarioSpec::seed_for`]'s
+    /// SplitMix64 hash.
     pub base_seed: u64,
     /// Speed/direction correlation strength passed to the traffic
     /// generator (see
@@ -434,16 +435,19 @@ mod tests {
     }
 
     #[test]
-    fn figure_scenario_reproduces_the_legacy_seed_rule() {
-        // The figure bins predate the sweep engine; their published numbers
-        // used seed = base + 1000·n + rep, which ScenarioSpec::seed_for
-        // must keep reproducing.
+    fn figure_scenario_maps_config_onto_the_spec() {
         let cfg = tiny();
         let spec = figure_scenario(&[ControllerKind::FacsP], &cfg, None, None);
-        assert_eq!(spec.seed_for(60, 1), cfg.base_seed + 1000 * 60 + 1);
+        assert_eq!(spec.base_seed, cfg.base_seed);
         assert_eq!(spec.load_points, cfg.request_counts);
         assert_eq!(spec.replications, cfg.repetitions);
         assert!(spec.validate().is_ok());
+        // Cell seeds come from the spec's hashed derivation: distinct per
+        // replication and reproducible from the base seed alone.
+        let c = ControllerKind::FacsP.spec();
+        assert_ne!(spec.seed_for(&c, 0, 0), spec.seed_for(&c, 0, 1));
+        let again = figure_scenario(&[ControllerKind::FacsP], &cfg, None, None);
+        assert_eq!(spec.seed_for(&c, 1, 1), again.seed_for(&c, 1, 1));
     }
 
     #[test]

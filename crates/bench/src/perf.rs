@@ -1,0 +1,298 @@
+//! The tracked performance baseline: timed runs of every decision path.
+//!
+//! [`run`] measures the admission hot path at each layer of the
+//! compile/execute split — the string-keyed interpreted engine, the
+//! compiled allocation-free engine, the LUT backend, and the end-to-end
+//! `decide` / `decide_batch` of every controller — and [`PerfReport`]
+//! serialises the result as the `BENCH_perf.json` artifact the `perf` bin
+//! writes.  CI runs the quick mode and fails when the artifact is empty or
+//! malformed, so the perf trajectory of the hot path is tracked across
+//! PRs.
+
+use cellsim::geometry::CellId;
+use cellsim::sim::{AdmissionController, AdmissionDecision, AdmissionRequest};
+use cellsim::station::BaseStation;
+use cellsim::traffic::ServiceClass;
+use facs::{FacsController, FacsPController, Flc1, Flc2};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One timed case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfCase {
+    /// Case name (stable across runs; the JSON key consumers track).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Timed iterations.
+    pub iters: u64,
+}
+
+/// The serialisable perf baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Whether the quick (CI) iteration budget was used.
+    pub quick: bool,
+    /// All timed cases.
+    pub cases: Vec<PerfCase>,
+    /// Headline number: interpreted vs compiled speedup of the full
+    /// FACS-P decision cascade (FLC1 + FLC2), `interpreted_ns /
+    /// compiled_ns`.
+    pub facs_decision_speedup: f64,
+    /// Interpreted vs LUT speedup of the same cascade.
+    pub facs_decision_speedup_lut: f64,
+}
+
+impl PerfReport {
+    /// The timed case named `name`, if present.
+    #[must_use]
+    pub fn case(&self, name: &str) -> Option<&PerfCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// Pretty JSON document of the report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Plain-text table of the report.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>14} {:>10}\n",
+            "case", "ns/iter", "iters"
+        ));
+        for c in &self.cases {
+            out.push_str(&format!(
+                "{:<44} {:>14.1} {:>10}\n",
+                c.name, c.ns_per_iter, c.iters
+            ));
+        }
+        out.push_str(&format!(
+            "\nFACS-P decision speedup (interpreted -> compiled): {:.1}x\n",
+            self.facs_decision_speedup
+        ));
+        out.push_str(&format!(
+            "FACS-P decision speedup (interpreted -> LUT):      {:.1}x\n",
+            self.facs_decision_speedup_lut
+        ));
+        out
+    }
+}
+
+/// Time `routine` over `iters` iterations (after one warm-up call).
+fn time_case(name: &str, iters: u64, mut routine: impl FnMut() -> f64) -> PerfCase {
+    let mut sink = routine();
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink += std::hint::black_box(routine());
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    PerfCase {
+        name: name.to_string(),
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        iters,
+    }
+}
+
+fn probe_request(class: ServiceClass, speed: f64, angle: f64) -> AdmissionRequest {
+    AdmissionRequest {
+        id: 1,
+        cell: CellId::origin(),
+        time: 0.0,
+        class,
+        bandwidth: class.paper_bandwidth(),
+        holding_time: 180.0,
+        speed_kmh: speed,
+        angle_deg: angle,
+        distance_m: Some(420.0),
+        is_handoff: false,
+    }
+}
+
+/// Run the whole suite.  `quick` trims the iteration budget for CI smoke
+/// runs; case names and structure are identical in both modes.
+#[must_use]
+pub fn run(quick: bool) -> PerfReport {
+    let iters: u64 = if quick { 2_000 } else { 50_000 };
+    let mut cases = Vec::new();
+
+    // --- fuzzy layer: one FLC1 inference, each execution model ----------
+    let flc1 = Flc1::paper_default().expect("paper parameters are valid");
+    let engine = flc1.engine().clone();
+    let inputs = [63.0, 27.0, 5.0];
+    cases.push(time_case("fuzzy/flc1 interpreted infer", iters, || {
+        engine
+            .infer(std::hint::black_box(&inputs))
+            .unwrap()
+            .crisp_or("Cv", 0.5)
+    }));
+    let compiled = flc1.compiled().clone();
+    let mut scratch = compiled.scratch();
+    cases.push(time_case(
+        "fuzzy/flc1 compiled infer_into",
+        iters * 10,
+        || compiled.infer_into(std::hint::black_box(&inputs), &mut scratch)[0],
+    ));
+
+    // --- LUT layer: one FLC2 decision from the tabulated surface --------
+    let flc2 = Flc2::paper_default().expect("paper parameters are valid");
+    cases.push(time_case(
+        "fuzzy/flc2 compiled decision",
+        iters * 10,
+        || {
+            flc2.decision_value(
+                std::hint::black_box(0.7),
+                std::hint::black_box(5.0),
+                std::hint::black_box(23.0),
+            )
+        },
+    ));
+    let lut = flc2.compile_lut().expect("paper parameters tabulate");
+    cases.push(time_case("lut/flc2 decision", iters * 10, || {
+        lut.decision_value(
+            std::hint::black_box(0.7),
+            std::hint::black_box(5.0),
+            std::hint::black_box(23.0),
+        )
+    }));
+
+    // --- controller layer: end-to-end decide per controller -------------
+    let mut station = BaseStation::paper_default();
+    station
+        .admit(100, ServiceClass::Video, 10, 0.0, 600.0, false)
+        .expect("station empty");
+    station
+        .admit(101, ServiceClass::Voice, 5, 0.0, 600.0, false)
+        .expect("station has room");
+    let req = probe_request(ServiceClass::Voice, 72.0, 15.0);
+
+    let mut facsp = FacsPController::paper_default();
+    cases.push(time_case("controller/facs-p decide", iters, || {
+        facsp
+            .decide(std::hint::black_box(&req), std::hint::black_box(&station))
+            .score
+    }));
+    let mut facsp_lut = FacsPController::paper_default_lut();
+    cases.push(time_case("controller/facs-p-lut decide", iters, || {
+        facsp_lut
+            .decide(std::hint::black_box(&req), std::hint::black_box(&station))
+            .score
+    }));
+    let mut facs = FacsController::paper_default();
+    cases.push(time_case("controller/facs decide", iters, || {
+        facs.decide(std::hint::black_box(&req), std::hint::black_box(&station))
+            .score
+    }));
+    let mut scc = scc::SccAdmission::default();
+    cases.push(time_case("controller/scc decide", iters, || {
+        scc.decide(std::hint::black_box(&req), std::hint::black_box(&station))
+            .score
+    }));
+
+    // --- batch path: one tick's arrivals in one decide_batch pass -------
+    let batch: Vec<AdmissionRequest> = (0..32)
+        .map(|i| {
+            probe_request(
+                [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video][i % 3],
+                3.75 * i as f64,
+                11.25 * i as f64 - 180.0,
+            )
+        })
+        .collect();
+    let mut decisions: Vec<AdmissionDecision> = Vec::with_capacity(batch.len());
+    cases.push(time_case(
+        "controller/facs-p decide_batch(32)",
+        iters / 16,
+        || {
+            facsp.decide_batch(
+                std::hint::black_box(&batch),
+                std::hint::black_box(&station),
+                &mut decisions,
+            );
+            decisions[0].score
+        },
+    ));
+
+    // --- the headline: interpreted vs compiled/LUT full cascade ---------
+    let interpreted_cascade = {
+        let flc1_engine = flc1.engine().clone();
+        let flc2_engine = flc2.engine().clone();
+        time_case("cascade/facs-p interpreted (flc1+flc2)", iters, || {
+            let cv = flc1_engine
+                .infer(std::hint::black_box(&[72.0, 15.0, 5.0]))
+                .unwrap()
+                .crisp_or("Cv", 0.5)
+                .clamp(0.0, 1.0);
+            flc2_engine
+                .infer(std::hint::black_box(&[cv, 5.0, 15.0]))
+                .unwrap()
+                .crisp_or("AR", 0.0)
+                .clamp(-1.0, 1.0)
+        })
+    };
+    let compiled_cascade = time_case("cascade/facs-p compiled (flc1+flc2)", iters * 4, || {
+        let cv = flc1.correction_value(
+            std::hint::black_box(72.0),
+            std::hint::black_box(15.0),
+            std::hint::black_box(5.0),
+        );
+        flc2.decision_value(cv, std::hint::black_box(5.0), std::hint::black_box(15.0))
+    });
+    let lut_cascade = time_case("cascade/facs-p lut (flc1+lut)", iters * 4, || {
+        let cv = flc1.correction_value(
+            std::hint::black_box(72.0),
+            std::hint::black_box(15.0),
+            std::hint::black_box(5.0),
+        );
+        lut.decision_value(cv, std::hint::black_box(5.0), std::hint::black_box(15.0))
+    });
+    let facs_decision_speedup = interpreted_cascade.ns_per_iter / compiled_cascade.ns_per_iter;
+    let facs_decision_speedup_lut = interpreted_cascade.ns_per_iter / lut_cascade.ns_per_iter;
+    cases.push(interpreted_cascade);
+    cases.push(compiled_cascade);
+    cases.push(lut_cascade);
+
+    PerfReport {
+        quick,
+        cases,
+        facs_decision_speedup,
+        facs_decision_speedup_lut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_a_complete_report() {
+        let report = run(true);
+        assert!(report.quick);
+        assert!(report.cases.len() >= 10);
+        for case in &report.cases {
+            assert!(
+                case.ns_per_iter.is_finite() && case.ns_per_iter > 0.0,
+                "{} has a bogus timing",
+                case.name
+            );
+            assert!(case.iters > 0);
+        }
+        assert!(report.case("cascade/facs-p compiled (flc1+flc2)").is_some());
+        assert!(report.facs_decision_speedup > 0.0);
+        assert!(report.facs_decision_speedup_lut > 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run(true);
+        let json = report.to_json();
+        assert!(json.contains("\"cases\""));
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(!report.render_table().is_empty());
+    }
+}

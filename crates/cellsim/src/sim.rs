@@ -135,6 +135,43 @@ pub trait AdmissionController {
     /// Called after connection `connection_id` has left `station`
     /// (completion, drop or outbound handoff).
     fn on_released(&mut self, _connection_id: u64, _station: &BaseStation) {}
+
+    /// Decide a whole batch of requests against **one station snapshot**.
+    ///
+    /// This is the batch counterpart of [`AdmissionController::decide`],
+    /// added so a tick's arrivals can be screened in one pass (and so
+    /// controllers with per-call setup cost can amortise it).  The
+    /// contract:
+    ///
+    /// 1. `out` is cleared and refilled with exactly one decision per
+    ///    request, in request order.
+    /// 2. Every decision is evaluated against the *same* `station` state —
+    ///    the snapshot passed in.  Implementations must **not** assume
+    ///    earlier accepts in the batch consumed capacity; a caller that
+    ///    goes on to admit must re-validate with
+    ///    [`BaseStation::can_fit`] (and re-offer if it wants
+    ///    admission-order-dependent policies like FLC2's counter state to
+    ///    see the updated occupancy — this is why the simulator's
+    ///    *admitting* paths stay sequential and only the screening path
+    ///    [`Simulator::screen`] batches).
+    /// 3. The produced decisions must be identical to calling `decide`
+    ///    sequentially on the same snapshot; overrides may only change
+    ///    *how fast* the answers are produced, never the answers.
+    /// 4. `decide_batch` must not alter state that `decide` would not
+    ///    alter (learning controllers update on `on_admitted` /
+    ///    `on_released`, not here).
+    fn decide_batch(
+        &mut self,
+        requests: &[AdmissionRequest],
+        station: &BaseStation,
+        out: &mut Vec<AdmissionDecision>,
+    ) {
+        out.clear();
+        out.reserve(requests.len());
+        for request in requests {
+            out.push(self.decide(request, station));
+        }
+    }
 }
 
 /// Admits every request that physically fits.  The most permissive possible
@@ -419,6 +456,51 @@ impl Simulator {
         let requests = generator.generate_batch(n);
         self.offer_requests(controller, &requests);
         SimReport::from_metrics(controller.name(), self.metrics.clone())
+    }
+
+    /// Screen a batch of requests against the **current** station
+    /// snapshots without admitting anything: one
+    /// [`AdmissionController::decide_batch`] call per run of
+    /// consecutive same-cell requests, one decision per request in order.
+    ///
+    /// This is the read-only "what would you do with this tick's
+    /// arrivals?" pass; requests whose cell has no station are rejected
+    /// with score `-1`.  Because nothing is admitted, the decisions for
+    /// *stateful* policies (e.g. FLC2's counter state) can differ from
+    /// what a sequential offer-and-admit pass would produce — that is
+    /// inherent to batching, and why the admitting paths
+    /// ([`Simulator::run_batch`], [`Simulator::run_poisson`]) stay
+    /// sequential.
+    pub fn screen<C: AdmissionController + ?Sized>(
+        &self,
+        controller: &mut C,
+        requests: &[AdmissionRequest],
+        out: &mut Vec<AdmissionDecision>,
+    ) {
+        out.clear();
+        out.reserve(requests.len());
+        let mut chunk = Vec::new();
+        let mut i = 0;
+        while i < requests.len() {
+            let cell = requests[i].cell;
+            let mut j = i + 1;
+            while j < requests.len() && requests[j].cell == cell {
+                j += 1;
+            }
+            match self.stations.get(&cell) {
+                // The whole batch is one same-cell run (the common
+                // single-cell case): decide straight into `out`, no copy.
+                Some(station) if i == 0 && j == requests.len() => {
+                    controller.decide_batch(requests, station, out);
+                }
+                Some(station) => {
+                    controller.decide_batch(&requests[i..j], station, &mut chunk);
+                    out.extend_from_slice(&chunk);
+                }
+                None => out.extend((i..j).map(|_| AdmissionDecision::reject(-1.0))),
+            }
+            i = j;
+        }
     }
 
     /// Offer a pre-generated sequence of requests (all against the origin
@@ -920,6 +1002,63 @@ mod tests {
                 < 1e-9
         );
         assert_eq!(report.controller, "always-accept");
+    }
+
+    #[test]
+    fn decide_batch_matches_sequential_decide() {
+        let mut c = CapacityThreshold::default();
+        let station = BaseStation::paper_default();
+        let requests: Vec<AdmissionRequest> = (0..12)
+            .map(|i| AdmissionRequest {
+                id: i,
+                cell: CellId::origin(),
+                time: 0.0,
+                class: ServiceClass::Voice,
+                bandwidth: 5 + (i % 3) as u32 * 2,
+                holding_time: 60.0,
+                speed_kmh: 10.0 * i as f64,
+                angle_deg: 0.0,
+                distance_m: None,
+                is_handoff: i % 2 == 0,
+            })
+            .collect();
+        let mut batch = vec![AdmissionDecision::reject(0.0); 3]; // pre-filled: must be cleared
+        c.decide_batch(&requests, &station, &mut batch);
+        assert_eq!(batch.len(), requests.len());
+        for (r, d) in requests.iter().zip(&batch) {
+            assert_eq!(*d, c.decide(r, &station), "snapshot semantics for {}", r.id);
+        }
+    }
+
+    #[test]
+    fn screen_groups_by_cell_and_rejects_missing_stations() {
+        let sim = Simulator::new(SimConfig::paper_default().with_seed(14));
+        let mut c = AlwaysAccept;
+        let mk = |id: u64, cell: CellId| AdmissionRequest {
+            id,
+            cell,
+            time: 0.0,
+            class: ServiceClass::Text,
+            bandwidth: 1,
+            holding_time: 60.0,
+            speed_kmh: 30.0,
+            angle_deg: 0.0,
+            distance_m: None,
+            is_handoff: false,
+        };
+        let ghost = CellId::new(5, 5); // single-cell grid: no such station
+        let requests = vec![
+            mk(1, CellId::origin()),
+            mk(2, CellId::origin()),
+            mk(3, ghost),
+            mk(4, CellId::origin()),
+        ];
+        let mut out = Vec::new();
+        sim.screen(&mut c, &requests, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out[0].accept && out[1].accept && out[3].accept);
+        assert!(!out[2].accept);
+        assert_eq!(out[2].score, -1.0);
     }
 
     #[test]

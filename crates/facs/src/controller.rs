@@ -12,7 +12,7 @@
 //!   effective counter state of [`PriorityPolicy`].
 
 use crate::flc1::{DistanceFlc1, Flc1};
-use crate::flc2::Flc2;
+use crate::flc2::{Flc2, Flc2Lut};
 use crate::params::PaperParams;
 use crate::priority::{PriorityPolicy, RequestPriority};
 use cellsim::sim::{AdmissionController, AdmissionDecision, AdmissionRequest};
@@ -59,6 +59,8 @@ impl Default for FacsConfig {
 pub struct FacsController {
     flc1: DistanceFlc1,
     flc2: Flc2,
+    /// Optional LUT-backed FLC2 (see [`FacsController::with_lut`]).
+    lut: Option<Flc2Lut>,
     config: FacsConfig,
 }
 
@@ -78,8 +80,31 @@ impl FacsController {
         Ok(Self {
             flc1: DistanceFlc1::paper_default()?,
             flc2: Flc2::with_capacity(config.capacity_bu)?,
+            lut: None,
             config,
         })
+    }
+
+    /// Switch the FLC2 stage to the LUT backend (pre-tabulated per-class
+    /// `(Cv, Cs)` surfaces at the default refined settings).  Decisions
+    /// then track the compiled path within the *measured*
+    /// [`Flc2Lut::max_error`] (see its docs for the probe basis — coarse
+    /// *uniform* tabulations installed via
+    /// [`with_lut_backend`](Self::with_lut_backend) can exceed their
+    /// midpoint-measured number near kink bands);
+    /// the controller reports itself as `facs-lut`.
+    pub fn with_lut(mut self) -> Result<Self> {
+        self.lut = Some(self.flc2.compile_lut()?);
+        Ok(self)
+    }
+
+    /// Install a pre-built LUT backend (e.g. a custom resolution, or one
+    /// shared across controller instances).  The LUT must have been
+    /// tabulated for the same station capacity.
+    #[must_use]
+    pub fn with_lut_backend(mut self, lut: Flc2Lut) -> Self {
+        self.lut = Some(lut);
+        self
     }
 
     /// The paper-default controller behind the [`AdmissionController`]
@@ -95,6 +120,12 @@ impl FacsController {
         &self.config
     }
 
+    /// The LUT backend, when enabled.
+    #[must_use]
+    pub fn lut(&self) -> Option<&Flc2Lut> {
+        self.lut.as_ref()
+    }
+
     /// The defuzzified A/R value FACS would produce for a request, given
     /// the station state (exposed for tests and the benches).
     #[must_use]
@@ -103,17 +134,22 @@ impl FacsController {
         let cv = self
             .flc1
             .correction_value(request.speed_kmh, request.angle_deg, distance);
-        self.flc2.decision_value(
-            cv,
-            f64::from(request.bandwidth),
-            f64::from(station.counter_state()),
-        )
+        let rq = f64::from(request.bandwidth);
+        let cs = f64::from(station.counter_state());
+        match &self.lut {
+            Some(lut) => lut.decision_value(cv, rq, cs),
+            None => self.flc2.decision_value(cv, rq, cs),
+        }
     }
 }
 
 impl AdmissionController for FacsController {
     fn name(&self) -> &str {
-        "facs"
+        if self.lut.is_some() {
+            "facs-lut"
+        } else {
+            "facs"
+        }
     }
 
     fn decide(&mut self, request: &AdmissionRequest, station: &BaseStation) -> AdmissionDecision {
@@ -179,6 +215,8 @@ impl Default for FacsPConfig {
 pub struct FacsPController {
     flc1: Flc1,
     flc2: Flc2,
+    /// Optional LUT-backed FLC2 (see [`FacsPController::with_lut`]).
+    lut: Option<Flc2Lut>,
     config: FacsPConfig,
 }
 
@@ -198,8 +236,45 @@ impl FacsPController {
         Ok(Self {
             flc1: Flc1::paper_default()?,
             flc2: Flc2::with_capacity(config.capacity_bu)?,
+            lut: None,
             config,
         })
+    }
+
+    /// Switch the FLC2 stage to the LUT backend (pre-tabulated per-class
+    /// `(Cv, Cs)` surfaces at the default refined settings).  Decisions
+    /// then track the compiled path within the *measured*
+    /// [`Flc2Lut::max_error`] (see its docs for the probe basis — coarse
+    /// *uniform* tabulations installed via
+    /// [`with_lut_backend`](Self::with_lut_backend) can exceed their
+    /// midpoint-measured number near kink bands);
+    /// the controller reports itself as `facs-p-lut`.
+    pub fn with_lut(mut self) -> Result<Self> {
+        self.lut = Some(self.flc2.compile_lut()?);
+        Ok(self)
+    }
+
+    /// Install a pre-built LUT backend (e.g. a custom resolution, or one
+    /// shared across controller instances).  The LUT must have been
+    /// tabulated for the same station capacity.
+    #[must_use]
+    pub fn with_lut_backend(mut self, lut: Flc2Lut) -> Self {
+        self.lut = Some(lut);
+        self
+    }
+
+    /// The paper-default controller with the LUT decision backend.
+    ///
+    /// The tabulation is shared process-wide ([`Flc2Lut::paper_shared`]):
+    /// the first call pays the tabulation cost, every further call —
+    /// including the thousands of per-cell controllers a sweep builds —
+    /// reuses the same surfaces.
+    ///
+    /// # Panics
+    /// Never panics: the paper parameters are statically valid.
+    #[must_use]
+    pub fn paper_default_lut() -> Self {
+        Self::paper_default().with_lut_backend(Flc2Lut::paper_shared())
     }
 
     /// The paper-default controller behind the [`AdmissionController`]
@@ -209,10 +284,23 @@ impl FacsPController {
         Box::new(Self::paper_default())
     }
 
+    /// The paper-default LUT-backed controller behind the
+    /// [`AdmissionController`] trait object.
+    #[must_use]
+    pub fn boxed_paper_default_lut() -> Box<dyn AdmissionController> {
+        Box::new(Self::paper_default_lut())
+    }
+
     /// The controller's configuration.
     #[must_use]
     pub fn config(&self) -> &FacsPConfig {
         &self.config
+    }
+
+    /// The LUT backend, when enabled.
+    #[must_use]
+    pub fn lut(&self) -> Option<&Flc2Lut> {
+        self.lut.as_ref()
     }
 
     /// FLC1's correction value for a request (exposed for the benches).
@@ -237,14 +325,21 @@ impl FacsPController {
                 request.is_handoff,
                 self.config.request_priority,
             );
-        self.flc2
-            .decision_value(cv, f64::from(request.bandwidth), cs)
+        let rq = f64::from(request.bandwidth);
+        match &self.lut {
+            Some(lut) => lut.decision_value(cv, rq, cs),
+            None => self.flc2.decision_value(cv, rq, cs),
+        }
     }
 }
 
 impl AdmissionController for FacsPController {
     fn name(&self) -> &str {
-        "facs-p"
+        if self.lut.is_some() {
+            "facs-p-lut"
+        } else {
+            "facs-p"
+        }
     }
 
     fn decide(&mut self, request: &AdmissionRequest, station: &BaseStation) -> AdmissionDecision {
@@ -417,6 +512,74 @@ mod tests {
         fill_station(&mut station, 16);
         let req = request(1, ServiceClass::Voice, 60.0, 30.0, false);
         assert!(high.decision_value(&req, &station) >= low.decision_value(&req, &station));
+    }
+
+    #[test]
+    fn lut_backend_tracks_the_compiled_decisions() {
+        let exact = FacsPController::paper_default();
+        let lut = FacsPController::paper_default_lut();
+        assert!(lut.lut().map(Flc2Lut::max_error).is_some());
+        let bound = lut.lut().unwrap().max_error();
+        let mut station = BaseStation::paper_default();
+        fill_station(&mut station, 22);
+        for (speed, angle, class, handoff) in [
+            (100.0, 0.0, ServiceClass::Text, false),
+            (10.0, 120.0, ServiceClass::Video, false),
+            (60.0, 30.0, ServiceClass::Voice, true),
+            (80.0, -45.0, ServiceClass::Voice, false),
+        ] {
+            let req = request(9, class, speed, angle, handoff);
+            let d_exact = exact.decision_value(&req, &station);
+            let d_lut = lut.decision_value(&req, &station);
+            assert!(
+                (d_exact - d_lut).abs() <= bound + 1e-12,
+                "LUT decision {d_lut} drifted from {d_exact} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_backend_reports_distinct_names() {
+        // A coarse injected backend keeps this name-only test cheap.
+        let coarse = || {
+            crate::flc2::Flc2::paper_default()
+                .unwrap()
+                .compile_lut_with_resolution((17, 17))
+                .unwrap()
+        };
+        let mut p = FacsPController::paper_default();
+        assert_eq!(p.name(), "facs-p");
+        p = p.with_lut_backend(coarse());
+        assert_eq!(p.name(), "facs-p-lut");
+        let mut f = FacsController::paper_default();
+        assert_eq!(f.name(), "facs");
+        f = f.with_lut_backend(coarse());
+        assert_eq!(f.name(), "facs-lut");
+    }
+
+    #[test]
+    fn decide_batch_matches_decide_on_a_snapshot() {
+        let mut facsp = FacsPController::paper_default();
+        let mut station = BaseStation::paper_default();
+        fill_station(&mut station, 18);
+        let requests: Vec<AdmissionRequest> = (0..16)
+            .map(|i| {
+                request(
+                    i,
+                    [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video]
+                        [(i % 3) as usize],
+                    7.5 * i as f64,
+                    22.5 * i as f64 - 180.0,
+                    i % 4 == 0,
+                )
+            })
+            .collect();
+        let mut batch = Vec::new();
+        facsp.decide_batch(&requests, &station, &mut batch);
+        assert_eq!(batch.len(), requests.len());
+        for (r, d) in requests.iter().zip(&batch) {
+            assert_eq!(*d, facsp.decide(r, &station));
+        }
     }
 
     #[test]

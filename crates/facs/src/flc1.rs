@@ -13,14 +13,33 @@
 
 use crate::frb1::{frb1_lookup, frb1_rules};
 use crate::params::PaperParams;
+use fuzzy::compile::{CompiledEngine, Scratch};
 use fuzzy::engine::MamdaniEngine;
 use fuzzy::rule::{Antecedent, Connective, Consequent, Rule};
 use fuzzy::Result;
+use std::cell::RefCell;
+
+/// Compile an FLC engine and pin the crisp fallback reported when no rule
+/// fires (the same value the string-keyed wrappers passed to `crisp_or`).
+fn compile_with_default(engine: &MamdaniEngine, default: f64) -> Result<(CompiledEngine, Scratch)> {
+    let mut compiled = engine.compile()?;
+    let out = fuzzy::VarId::from_index(0);
+    compiled.set_empty_default(out, default);
+    let scratch = compiled.scratch();
+    Ok((compiled, scratch))
+}
 
 /// The proposed system's FLC1: `(Sp, An, Sr) -> Cv`.
+///
+/// The string-keyed [`MamdaniEngine`] is kept for introspection and as the
+/// bit-identical reference implementation; every
+/// [`Flc1::correction_value`] call runs on the compiled, allocation-free
+/// execute path.
 #[derive(Debug, Clone)]
 pub struct Flc1 {
     engine: MamdaniEngine,
+    compiled: CompiledEngine,
+    scratch: RefCell<Scratch>,
 }
 
 impl Flc1 {
@@ -36,13 +55,25 @@ impl Flc1 {
         for rule in frb1_rules()? {
             engine.add_rule(rule)?;
         }
-        Ok(Self { engine })
+        let (compiled, scratch) = compile_with_default(&engine, 0.5)?;
+        Ok(Self {
+            engine,
+            compiled,
+            scratch: RefCell::new(scratch),
+        })
     }
 
-    /// The underlying Mamdani engine (exposed for the ablation benches).
+    /// The underlying Mamdani engine (exposed for the ablation benches and
+    /// as the interpreted reference of the compiled path).
     #[must_use]
     pub fn engine(&self) -> &MamdaniEngine {
         &self.engine
+    }
+
+    /// The compiled execute-path engine.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledEngine {
+        &self.compiled
     }
 
     /// Compute the correction value for a request.
@@ -62,10 +93,8 @@ impl Flc1 {
             ),
             clamp_or(service_bu, 0.0, PaperParams::SR_MAX_BU, 1.0),
         ];
-        match self.engine.infer(&inputs) {
-            Ok(out) => out.crisp_or("Cv", 0.5).clamp(0.0, 1.0),
-            Err(_) => 0.5,
-        }
+        let mut scratch = self.scratch.borrow_mut();
+        self.compiled.infer_into(&inputs, &mut scratch)[0].clamp(0.0, 1.0)
     }
 }
 
@@ -81,6 +110,8 @@ impl Flc1 {
 #[derive(Debug, Clone)]
 pub struct DistanceFlc1 {
     engine: MamdaniEngine,
+    compiled: CompiledEngine,
+    scratch: RefCell<Scratch>,
 }
 
 impl DistanceFlc1 {
@@ -95,13 +126,24 @@ impl DistanceFlc1 {
         for rule in distance_frb_rules()? {
             engine.add_rule(rule)?;
         }
-        Ok(Self { engine })
+        let (compiled, scratch) = compile_with_default(&engine, 0.5)?;
+        Ok(Self {
+            engine,
+            compiled,
+            scratch: RefCell::new(scratch),
+        })
     }
 
     /// The underlying Mamdani engine.
     #[must_use]
     pub fn engine(&self) -> &MamdaniEngine {
         &self.engine
+    }
+
+    /// The compiled execute-path engine.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledEngine {
+        &self.compiled
     }
 
     /// Compute the correction value from speed, angle and distance.
@@ -117,10 +159,8 @@ impl DistanceFlc1 {
             ),
             clamp_or(distance_m, 0.0, PaperParams::DISTANCE_MAX_M, 500.0),
         ];
-        match self.engine.infer(&inputs) {
-            Ok(out) => out.crisp_or("Cv", 0.5).clamp(0.0, 1.0),
-            Err(_) => 0.5,
-        }
+        let mut scratch = self.scratch.borrow_mut();
+        self.compiled.infer_into(&inputs, &mut scratch)[0].clamp(0.0, 1.0)
     }
 }
 

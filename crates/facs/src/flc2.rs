@@ -8,13 +8,37 @@
 
 use crate::frb2::frb2_rules;
 use crate::params::PaperParams;
+use fuzzy::compile::{CompiledEngine, Scratch};
 use fuzzy::engine::MamdaniEngine;
-use fuzzy::Result;
+use fuzzy::{Lut2d, Result};
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+
+/// Default base grid of [`Flc2Lut`]'s refined tabulation: uniform
+/// `(Cv, Cs)` nodes per tabulated request class before local refinement.
+pub const DEFAULT_LUT_BASE_RESOLUTION: (usize, usize) = (129, 129);
+
+/// Default per-cell error target of [`Flc2Lut`]'s refined tabulation.
+/// Chosen with ~2.5x headroom under the `1e-3` decision-value bound the
+/// `lut_error_is_bounded` test pins (FRB2's kink bands make uniform grids
+/// pay this density everywhere; the refined table pays it only along the
+/// bands).
+pub const DEFAULT_LUT_TARGET_ERROR: f64 = 4.0e-4;
+
+/// Patch density cap of the refined tabulation (nodes per side per cell).
+pub const DEFAULT_LUT_MAX_PATCH_NODES: usize = 129;
 
 /// The admission-decision controller: `(Cv, Rq, Cs) -> A/R`.
+///
+/// The string-keyed [`MamdaniEngine`] is kept for introspection and as the
+/// bit-identical reference implementation; every
+/// [`Flc2::decision_value`] call runs on the compiled, allocation-free
+/// execute path.
 #[derive(Debug, Clone)]
 pub struct Flc2 {
     engine: MamdaniEngine,
+    compiled: CompiledEngine,
+    scratch: RefCell<Scratch>,
     capacity_bu: f64,
 }
 
@@ -42,8 +66,13 @@ impl Flc2 {
         for rule in frb2_rules()? {
             engine.add_rule(rule)?;
         }
+        let mut compiled = engine.compile()?;
+        compiled.set_empty_default(fuzzy::VarId::from_index(0), 0.0);
+        let scratch = compiled.scratch();
         Ok(Self {
             engine,
+            compiled,
+            scratch: RefCell::new(scratch),
             capacity_bu,
         })
     }
@@ -54,10 +83,35 @@ impl Flc2 {
         self.capacity_bu
     }
 
-    /// The underlying Mamdani engine (exposed for the ablation benches).
+    /// The underlying Mamdani engine (exposed for the ablation benches and
+    /// as the interpreted reference of the compiled path).
     #[must_use]
     pub fn engine(&self) -> &MamdaniEngine {
         &self.engine
+    }
+
+    /// The compiled execute-path engine.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledEngine {
+        &self.compiled
+    }
+
+    /// Pre-tabulate this controller into per-request-class lookup tables
+    /// (see [`Flc2Lut`]): a [`DEFAULT_LUT_BASE_RESOLUTION`] uniform grid
+    /// refined until every probed cell error is at or below
+    /// [`DEFAULT_LUT_TARGET_ERROR`].
+    pub fn compile_lut(&self) -> Result<Flc2Lut> {
+        Flc2Lut::tabulate_refined(
+            self,
+            DEFAULT_LUT_BASE_RESOLUTION,
+            DEFAULT_LUT_TARGET_ERROR,
+            DEFAULT_LUT_MAX_PATCH_NODES,
+        )
+    }
+
+    /// Pre-tabulate on a plain uniform `(Cv, Cs)` grid (no refinement).
+    pub fn compile_lut_with_resolution(&self, resolution: (usize, usize)) -> Result<Flc2Lut> {
+        Flc2Lut::tabulate(self, resolution)
     }
 
     /// Compute the soft accept/reject value in `[-1, 1]`.
@@ -81,10 +135,8 @@ impl Flc2 {
             clamp_or(request_bu, 0.0, PaperParams::RQ_MAX_BU, 1.0),
             clamp_or(counter_state_bu, 0.0, self.capacity_bu, self.capacity_bu),
         ];
-        match self.engine.infer(&inputs) {
-            Ok(out) => out.crisp_or("AR", 0.0).clamp(-1.0, 1.0),
-            Err(_) => 0.0,
-        }
+        let mut scratch = self.scratch.borrow_mut();
+        self.compiled.infer_into(&inputs, &mut scratch)[0].clamp(-1.0, 1.0)
     }
 
     /// Convenience wrapper: `true` if the decision value exceeds
@@ -98,6 +150,173 @@ impl Flc2 {
         threshold: f64,
     ) -> bool {
         self.decision_value(correction_value, request_bu, counter_state_bu) > threshold
+    }
+}
+
+/// LUT-backed FLC2: one pre-tabulated `(Cv, Cs)` surface per paper request
+/// class (text = 1 BU, voice = 5 BU, video = 10 BU).
+///
+/// The request-type axis of FRB2 is only ever exercised at the three
+/// discrete bandwidths the traffic model emits, so fixing `Rq` per class
+/// turns the 3-input controller into three 2-input surfaces that
+/// [`Lut2d`] can quantise.  Lookups for a tabulated class cost four table
+/// reads and a bilinear blend; any other request bandwidth transparently
+/// falls back to the compiled engine, so the policy is total either way.
+///
+/// The approximation error is measured at tabulation time:
+/// [`Flc2Lut::max_error`] is the worst [`Lut2d::max_error`] across the
+/// class surfaces (`< 1e-3` at the default settings; pinned by a test).
+/// Note the measurement basis: refined tabulations probe a 3x3 lattice
+/// per base cell plus every patch sub-cell midpoint, while plain uniform
+/// tabulations probe cell midpoints only — near the surface's kink bands
+/// a coarse uniform table's true error can exceed its midpoint-measured
+/// number, so size uniform grids generously or prefer the refined
+/// default.
+///
+/// The class surfaces are stored behind an [`Arc`], so cloning an
+/// `Flc2Lut` (e.g. to share one tabulation across many controllers via
+/// [`crate::FacsPController::with_lut_backend`]) copies pointers, not
+/// megabytes.
+#[derive(Debug, Clone)]
+pub struct Flc2Lut {
+    /// `(request_bu, surface)` pairs for the tabulated classes, shared
+    /// across clones.
+    luts: Arc<[(f64, Lut2d)]>,
+    /// Exact compiled fallback for non-tabulated request bandwidths
+    /// (small: rule tables and pre-sampled terms, no surfaces).
+    exact: CompiledEngine,
+    scratch: RefCell<Scratch>,
+    capacity_bu: f64,
+}
+
+impl Flc2Lut {
+    /// Tabulate `flc2` for the paper's three request classes on plain
+    /// uniform `(Cv, Cs)` grids of the given resolution.
+    pub fn tabulate(flc2: &Flc2, (n_cv, n_cs): (usize, usize)) -> Result<Self> {
+        Self::build(flc2, |compiled, scratch, rq| {
+            Lut2d::tabulate_fn(0.0, 1.0, 0.0, flc2.capacity_bu, n_cv, n_cs, |cv, cs| {
+                compiled.infer_into(&[cv, rq, cs], scratch)[0].clamp(-1.0, 1.0)
+            })
+        })
+    }
+
+    /// Tabulate `flc2` for the paper's three request classes on a uniform
+    /// base grid with local refinement down to `target_error` (see
+    /// [`Lut2d::tabulate_fn_refined`]).
+    pub fn tabulate_refined(
+        flc2: &Flc2,
+        base: (usize, usize),
+        target_error: f64,
+        max_patch_nodes: usize,
+    ) -> Result<Self> {
+        Self::build(flc2, |compiled, scratch, rq| {
+            Lut2d::tabulate_fn_refined(
+                0.0,
+                1.0,
+                0.0,
+                flc2.capacity_bu,
+                base,
+                target_error,
+                max_patch_nodes,
+                |cv, cs| compiled.infer_into(&[cv, rq, cs], scratch)[0].clamp(-1.0, 1.0),
+            )
+        })
+    }
+
+    /// One shared copy of the paper-default tabulation (40 BU capacity,
+    /// default base/target): tabulated once per process, then handed out
+    /// as cheap clones.  This is what lets a sweep build thousands of
+    /// LUT-backed controllers without re-tabulating per cell.
+    #[must_use]
+    pub fn paper_shared() -> Self {
+        // The cache holds only the Sync parts (surfaces + fallback
+        // engine); each handed-out value gets fresh scratch memory.
+        type SharedParts = (Arc<[(f64, Lut2d)]>, CompiledEngine, f64);
+        static PAPER: OnceLock<SharedParts> = OnceLock::new();
+        let (luts, exact, capacity_bu) = PAPER.get_or_init(|| {
+            let lut = Flc2::paper_default()
+                .expect("paper parameters are valid")
+                .compile_lut()
+                .expect("paper parameters tabulate cleanly");
+            (lut.luts, lut.exact, lut.capacity_bu)
+        });
+        Self {
+            luts: Arc::clone(luts),
+            exact: exact.clone(),
+            scratch: RefCell::new(exact.scratch()),
+            capacity_bu: *capacity_bu,
+        }
+    }
+
+    fn build(
+        flc2: &Flc2,
+        mut tabulate_class: impl FnMut(&CompiledEngine, &mut Scratch, f64) -> Result<Lut2d>,
+    ) -> Result<Self> {
+        let mut luts = Vec::with_capacity(3);
+        let mut scratch = flc2.compiled.scratch();
+        for rq in [1.0, 5.0, 10.0] {
+            luts.push((rq, tabulate_class(&flc2.compiled, &mut scratch, rq)?));
+        }
+        Ok(Self {
+            luts: luts.into(),
+            exact: flc2.compiled.clone(),
+            scratch: RefCell::new(scratch),
+            capacity_bu: flc2.capacity_bu,
+        })
+    }
+
+    /// The capacity (BU) the tabulated counter-state axis spans.
+    #[must_use]
+    pub fn capacity_bu(&self) -> f64 {
+        self.capacity_bu
+    }
+
+    /// The worst measured interpolation error over every tabulated class
+    /// surface (see the type docs for the measurement basis).
+    #[must_use]
+    pub fn max_error(&self) -> f64 {
+        self.luts
+            .iter()
+            .map(|(_, lut)| lut.max_error())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total memory held by the tabulated surfaces, in bytes (shared
+    /// across clones).
+    #[must_use]
+    pub fn sample_bytes(&self) -> usize {
+        self.luts.iter().map(|(_, lut)| lut.sample_bytes()).sum()
+    }
+
+    /// The tabulated request bandwidths (BU).
+    #[must_use]
+    pub fn tabulated_classes(&self) -> Vec<f64> {
+        self.luts.iter().map(|&(rq, _)| rq).collect()
+    }
+
+    /// The soft accept/reject value in `[-1, 1]`, served from the class
+    /// surface when `request_bu` matches a tabulated class and from the
+    /// compiled engine otherwise.
+    #[must_use]
+    pub fn decision_value(
+        &self,
+        correction_value: f64,
+        request_bu: f64,
+        counter_state_bu: f64,
+    ) -> f64 {
+        let rq = clamp_or(request_bu, 0.0, PaperParams::RQ_MAX_BU, 1.0);
+        let cv = clamp_or(correction_value, 0.0, 1.0, 0.0);
+        let cs = clamp_or(counter_state_bu, 0.0, self.capacity_bu, self.capacity_bu);
+        for (tab_rq, lut) in self.luts.iter() {
+            if rq == *tab_rq {
+                return lut.lookup(cv, cs).clamp(-1.0, 1.0);
+            }
+        }
+        // Exact fallback: the same operation sequence as
+        // `Flc2::decision_value`, so untabulated classes stay bit-identical
+        // to the compiled controller.
+        let mut scratch = self.scratch.borrow_mut();
+        self.exact.infer_into(&[cv, rq, cs], &mut scratch)[0].clamp(-1.0, 1.0)
     }
 }
 
@@ -234,6 +453,28 @@ mod tests {
         let c = flc2();
         let v = c.decision_value(f64::NAN, f64::INFINITY, f64::NEG_INFINITY);
         assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn paper_shared_lut_reuses_one_tabulation() {
+        use std::time::Instant;
+        let first = Flc2Lut::paper_shared();
+        // Every further hand-out reuses the cached surfaces: identical
+        // tables, and no re-tabulation (micro-seconds, not seconds).
+        let t = Instant::now();
+        let second = Flc2Lut::paper_shared();
+        assert!(
+            t.elapsed().as_millis() < 100,
+            "second paper_shared() must not re-tabulate"
+        );
+        assert_eq!(first.max_error().to_bits(), second.max_error().to_bits());
+        assert_eq!(first.tabulated_classes(), second.tabulated_classes());
+        for (cv, rq, cs) in [(0.1, 1.0, 5.0), (0.8, 5.0, 30.0), (0.5, 10.0, 38.0)] {
+            assert_eq!(
+                first.decision_value(cv, rq, cs).to_bits(),
+                second.decision_value(cv, rq, cs).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub mod priority;
 
 pub use controller::{FacsConfig, FacsController, FacsPConfig, FacsPController};
 pub use flc1::{DistanceFlc1, Flc1};
-pub use flc2::Flc2;
+pub use flc2::{
+    Flc2, Flc2Lut, DEFAULT_LUT_BASE_RESOLUTION, DEFAULT_LUT_MAX_PATCH_NODES,
+    DEFAULT_LUT_TARGET_ERROR,
+};
 pub use params::PaperParams;
 pub use priority::{DifferentiatedService, PriorityPolicy, RequestPriority};

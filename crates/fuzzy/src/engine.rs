@@ -75,6 +75,36 @@ impl MamdaniEngine {
         self.defuzzifier
     }
 
+    /// The t-norm combining AND antecedents.
+    #[must_use]
+    pub fn and_norm(&self) -> TNorm {
+        self.and_norm
+    }
+
+    /// The s-norm combining OR antecedents.
+    #[must_use]
+    pub fn or_norm(&self) -> SNorm {
+        self.or_norm
+    }
+
+    /// The s-norm aggregating rule outputs.
+    #[must_use]
+    pub fn aggregation(&self) -> SNorm {
+        self.aggregation
+    }
+
+    /// The configured implication method.
+    #[must_use]
+    pub fn implication(&self) -> Implication {
+        self.implication
+    }
+
+    /// The sampling resolution of the aggregated output sets.
+    #[must_use]
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
     /// Add an already-validated rule.
     pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
         rule.validate(&self.inputs, &self.outputs)?;
@@ -105,7 +135,15 @@ impl MamdaniEngine {
 
     /// Run one inference with `crisp_inputs[i]` bound to the `i`-th declared
     /// input variable.
-    pub fn infer(&self, crisp_inputs: &[f64]) -> Result<InferenceOutput> {
+    ///
+    /// This is the readable, string-keyed reference path; it allocates one
+    /// [`InferenceOutput`] per call.  Hot paths should [`compile`] the
+    /// engine once and drive the allocation-free
+    /// [`CompiledEngine::infer_into`](crate::compile::CompiledEngine::infer_into)
+    /// instead, which produces bit-identical crisp outputs.
+    ///
+    /// [`compile`]: MamdaniEngine::compile
+    pub fn infer(&self, crisp_inputs: &[f64]) -> Result<InferenceOutput<'_>> {
         if crisp_inputs.len() != self.inputs.len() {
             return Err(FuzzyError::InputArity {
                 expected: self.inputs.len(),
@@ -178,7 +216,7 @@ impl MamdaniEngine {
         }
 
         Ok(InferenceOutput {
-            output_names: self.outputs.iter().map(|o| o.name().to_string()).collect(),
+            outputs: &self.outputs,
             aggregated,
             firing_strengths: strengths,
             defuzzifier: self.defuzzifier,
@@ -231,15 +269,18 @@ impl MamdaniEngine {
 
 /// The result of one inference: the aggregated output set per output
 /// variable plus per-rule firing strengths.
+///
+/// Output names are borrowed from the engine that produced the result —
+/// constructing and querying an `InferenceOutput` never clones a name.
 #[derive(Debug, Clone, PartialEq)]
-pub struct InferenceOutput {
-    output_names: Vec<String>,
+pub struct InferenceOutput<'e> {
+    outputs: &'e [LinguisticVariable],
     aggregated: Vec<FuzzySet>,
     firing_strengths: Vec<f64>,
     defuzzifier: Defuzzifier,
 }
 
-impl InferenceOutput {
+impl<'e> InferenceOutput<'e> {
     /// The aggregated fuzzy set for output variable `name`.
     pub fn aggregated(&self, name: &str) -> Result<&FuzzySet> {
         self.index_of(name).map(|i| &self.aggregated[i])
@@ -273,16 +314,16 @@ impl InferenceOutput {
         &self.firing_strengths
     }
 
-    /// Names of the output variables, in declaration order.
-    #[must_use]
-    pub fn output_names(&self) -> &[String] {
-        &self.output_names
+    /// Names of the output variables, in declaration order (zero-copy:
+    /// the names are borrowed straight from the engine's variables).
+    pub fn output_names(&self) -> impl Iterator<Item = &'e str> + '_ {
+        self.outputs.iter().map(LinguisticVariable::name)
     }
 
     fn index_of(&self, name: &str) -> Result<usize> {
-        self.output_names
+        self.outputs
             .iter()
-            .position(|n| n == name)
+            .position(|o| o.name() == name)
             .ok_or_else(|| FuzzyError::UnknownOutput {
                 name: name.to_string(),
             })
@@ -590,7 +631,8 @@ mod tests {
     #[test]
     fn product_norm_changes_strengths_but_not_direction() {
         let mut e = fan_engine();
-        let out_min = e.infer(&[30.0, 70.0]).unwrap();
+        // The output borrows the engine; keep only the strengths around.
+        let strengths_min = e.infer(&[30.0, 70.0]).unwrap().firing_strengths().to_vec();
         e = {
             let mut b = MamdaniEngine::builder();
             for v in e.inputs() {
@@ -605,11 +647,7 @@ mod tests {
         };
         let out_prod = e.infer(&[30.0, 70.0]).unwrap();
         // Product t-norm never exceeds minimum.
-        for (p, m) in out_prod
-            .firing_strengths()
-            .iter()
-            .zip(out_min.firing_strengths())
-        {
+        for (p, m) in out_prod.firing_strengths().iter().zip(&strengths_min) {
             assert!(p <= m);
         }
     }

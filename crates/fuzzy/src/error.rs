@@ -80,6 +80,12 @@ pub enum FuzzyError {
         /// The requested output name.
         name: String,
     },
+    /// A lookup table could not be tabulated (wrong engine shape, bad
+    /// bounds or a degenerate grid).
+    InvalidLut {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FuzzyError {
@@ -119,6 +125,9 @@ impl fmt::Display for FuzzyError {
             ),
             FuzzyError::UnknownOutput { name } => {
                 write!(f, "unknown output variable `{name}`")
+            }
+            FuzzyError::InvalidLut { reason } => {
+                write!(f, "invalid lookup table: {reason}")
             }
         }
     }

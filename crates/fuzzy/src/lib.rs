@@ -62,23 +62,37 @@
 //! * All computation is `f64`; degrees are always clamped to `[0, 1]`.
 //! * The crate is `#![forbid(unsafe_code)]` and has no non-`serde`
 //!   dependencies.
+//!
+//! # Hot paths: compile/execute and LUTs
+//!
+//! [`MamdaniEngine::infer`] is the string-keyed reference path. For code
+//! that runs inference in a loop, [`MamdaniEngine::compile`] lowers the
+//! engine into a [`CompiledEngine`] whose
+//! [`infer_into`](compile::CompiledEngine::infer_into) is allocation-free
+//! and bit-identical to `infer`; [`Lut2d`] goes one step further and
+//! pre-tabulates any 2-input compiled controller with a measured error
+//! bound. See the [`compile`] and [`lut`] module docs for examples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compile;
 pub mod defuzz;
 pub mod engine;
 pub mod error;
+pub mod lut;
 pub mod membership;
 pub mod norms;
 pub mod rule;
 pub mod set;
 pub mod variable;
 
+pub use compile::{CompiledEngine, Scratch, TermId, VarId};
 pub use defuzz::Defuzzifier;
 pub use engine::{EngineBuilder, InferenceOutput, MamdaniEngine};
 pub use error::{FuzzyError, Result};
+pub use lut::Lut2d;
 pub use membership::MembershipFunction;
 pub use norms::{SNorm, TNorm};
 pub use rule::{Antecedent, Connective, Rule, RuleBase};
@@ -87,9 +101,11 @@ pub use variable::{LinguisticVariable, Term, VariableBuilder};
 
 /// Convenience re-exports for users who want everything in scope.
 pub mod prelude {
+    pub use crate::compile::{CompiledEngine, Scratch, TermId, VarId};
     pub use crate::defuzz::Defuzzifier;
     pub use crate::engine::{EngineBuilder, InferenceOutput, MamdaniEngine};
     pub use crate::error::{FuzzyError, Result};
+    pub use crate::lut::Lut2d;
     pub use crate::membership::MembershipFunction;
     pub use crate::norms::{SNorm, TNorm};
     pub use crate::rule::{Antecedent, Connective, Rule, RuleBase};

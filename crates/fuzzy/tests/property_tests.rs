@@ -205,4 +205,45 @@ proptest! {
         // area can never exceed height * width of universe
         prop_assert!(set.area() <= height * 1.0 + 1e-9);
     }
+
+    #[test]
+    fn compiled_engine_is_bit_identical_to_interpreted(
+        t in 0.0f64..=40.0,
+        h in 0.0f64..=100.0,
+    ) {
+        let temperature = LinguisticVariable::builder("temperature", 0.0, 40.0)
+            .triangle("Cold", 0.0, 0.0, 20.0)
+            .triangle("Warm", 10.0, 20.0, 30.0)
+            .triangle("Hot", 20.0, 40.0, 40.0)
+            .build()
+            .unwrap();
+        let humidity = LinguisticVariable::builder("humidity", 0.0, 100.0)
+            .triangle("Dry", 0.0, 0.0, 50.0)
+            .triangle("Humid", 50.0, 100.0, 100.0)
+            .build()
+            .unwrap();
+        let fan = LinguisticVariable::builder("fan", 0.0, 100.0)
+            .triangle("Slow", 0.0, 0.0, 50.0)
+            .triangle("Medium", 25.0, 50.0, 75.0)
+            .triangle("Fast", 50.0, 100.0, 100.0)
+            .build()
+            .unwrap();
+        let mut e = MamdaniEngine::builder()
+            .input(temperature)
+            .input(humidity)
+            .output(fan)
+            .build()
+            .unwrap();
+        e.add_rules_str([
+            "IF temperature IS Hot AND humidity IS Humid THEN fan IS Fast",
+            "IF temperature IS Hot AND humidity IS Dry THEN fan IS Medium",
+            "IF temperature IS Warm THEN fan IS Medium",
+            "IF temperature IS Cold THEN fan IS Slow",
+        ]).unwrap();
+        let compiled = e.compile().unwrap();
+        let mut scratch = compiled.scratch();
+        let fast = compiled.infer_into(&[t, h], &mut scratch)[0];
+        let reference = e.infer(&[t, h]).unwrap().crisp_or("fan", 50.0);
+        prop_assert_eq!(fast.to_bits(), reference.to_bits());
+    }
 }

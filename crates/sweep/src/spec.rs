@@ -23,6 +23,10 @@ use std::fmt;
 pub enum ControllerSpec {
     /// The proposed FACS-P controller.
     FacsP,
+    /// FACS-P with the LUT decision backend: FLC2 pre-tabulated into
+    /// per-class `(Cv, Cs)` surfaces (decisions within the measured LUT
+    /// error of `FacsP`, lookups independent of rule count).
+    FacsPLut,
     /// The authors' previous FACS controller.
     Facs,
     /// The Shadow Cluster Concept baseline.
@@ -44,6 +48,7 @@ impl ControllerSpec {
     pub fn label(&self) -> String {
         match self {
             ControllerSpec::FacsP => "FACS-P".to_string(),
+            ControllerSpec::FacsPLut => "FACS-P-LUT".to_string(),
             ControllerSpec::Facs => "FACS".to_string(),
             ControllerSpec::Scc => "SCC".to_string(),
             ControllerSpec::AlwaysAccept => "always-accept".to_string(),
@@ -58,6 +63,7 @@ impl ControllerSpec {
     pub fn build(&self) -> Box<dyn AdmissionController> {
         match self {
             ControllerSpec::FacsP => FacsPController::boxed_paper_default(),
+            ControllerSpec::FacsPLut => FacsPController::boxed_paper_default_lut(),
             ControllerSpec::Facs => FacsController::boxed_paper_default(),
             ControllerSpec::Scc => SccAdmission::boxed_paper_default(),
             ControllerSpec::AlwaysAccept => Box::new(AlwaysAccept),
@@ -149,23 +155,75 @@ pub struct ScenarioSpec {
     pub base_seed: u64,
 }
 
+/// One round of the SplitMix64 finalizer: the standard avalanching mix
+/// used to turn structured counters into decorrelated seed streams.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string: a stable, dependency-free label hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 impl ScenarioSpec {
-    /// The seed of one `(load, replication)` cell:
-    /// `base_seed + 1000·load + replication` (wrapping).  Every controller
-    /// reuses the same seed at the same cell, so arrival sequences are
-    /// shared and comparisons are paired; the derivation is part of the
-    /// spec format and must not change, or published results stop being
-    /// reproducible from their specs.
+    /// The seed of one `(controller, load point, replication)` cell: a
+    /// SplitMix64-style hash of `(base_seed, controller label, load index,
+    /// replication)`.
+    ///
+    /// The previous `base + 1000·load + replication` formula was
+    /// collision-prone (structured, and adjacent load points were only
+    /// 1000 seeds apart, capping replications) and handed *correlated*
+    /// `StdRng` neighbour streams to "independent" replications.  The
+    /// hashed derivation gives every cell of the grid a provably distinct,
+    /// decorrelated stream — including across controllers, so the per-point
+    /// spread measures genuine run-to-run variance rather than reusing one
+    /// arrival sequence per cell.  (Cross-controller comparisons are still
+    /// exact at the *aggregate* level: every controller sweeps the same
+    /// load axis with the same replication count.)
+    ///
+    /// The derivation depends on the controller's [`ControllerSpec::label`]
+    /// — not its position in the controller list — so adding or reordering
+    /// controllers never moves another controller's numbers, and sweeping a
+    /// controller alone reproduces its curve from a joint sweep exactly.
+    ///
+    /// This rule is part of the spec format: published results are
+    /// reproducible from their specs only while it stays fixed.
     #[must_use]
-    pub fn seed_for(&self, load: usize, replication: usize) -> u64 {
-        self.base_seed
-            .wrapping_add(1000u64.wrapping_mul(load as u64))
-            .wrapping_add(replication as u64)
+    pub fn seed_for(
+        &self,
+        controller: &ControllerSpec,
+        load_index: usize,
+        replication: usize,
+    ) -> u64 {
+        let mut z = splitmix64(self.base_seed);
+        z = splitmix64(z ^ fnv1a(controller.label().as_bytes()));
+        z = splitmix64(z ^ (load_index as u64));
+        splitmix64(z ^ (replication as u64))
     }
 
-    /// The simulator configuration of one `(load, replication)` cell.
+    /// The simulator configuration of one `(controller, load point,
+    /// replication)` cell; `load_index` indexes
+    /// [`ScenarioSpec::load_points`].
+    ///
+    /// # Panics
+    /// Panics when `load_index` is out of range.
     #[must_use]
-    pub fn sim_config(&self, load: usize, replication: usize) -> SimConfig {
+    pub fn sim_config(
+        &self,
+        controller: &ControllerSpec,
+        load_index: usize,
+        replication: usize,
+    ) -> SimConfig {
+        let load = self.load_points[load_index];
         let mut traffic = self.traffic.clone();
         if let LoadMode::RequestsPerWindow { window_s } = self.load_mode {
             traffic.mean_interarrival_s = if load == 0 {
@@ -181,7 +239,7 @@ impl ScenarioSpec {
             .with_traffic(traffic)
             .with_mobility(self.mobility.clone())
             .with_utilization_sampling(self.utilization_sample_interval_s)
-            .with_seed(self.seed_for(load, replication))
+            .with_seed(self.seed_for(controller, load_index, replication))
     }
 
     /// Check the spec is runnable.
@@ -200,14 +258,6 @@ impl ScenarioSpec {
         }
         if self.replications == 0 {
             return Err(SpecError::Invalid("replications must be at least 1".into()));
-        }
-        if self.replications > 1000 {
-            // seed_for spaces load points 1000 seeds apart; more
-            // replications than that would make adjacent load points share
-            // seeds, silently correlating their "independent" replications.
-            return Err(SpecError::Invalid(
-                "replications must be at most 1000 (seed streams are spaced 1000 apart)".into(),
-            ));
         }
         if self.station_capacity == 0 {
             return Err(SpecError::Invalid("station capacity is zero".into()));
@@ -289,6 +339,7 @@ mod tests {
     fn controller_specs_build_matching_controllers() {
         for (spec, expected_name) in [
             (ControllerSpec::FacsP, "facs-p"),
+            (ControllerSpec::FacsPLut, "facs-p-lut"),
             (ControllerSpec::Facs, "facs"),
             (ControllerSpec::Scc, "scc"),
             (ControllerSpec::AlwaysAccept, "always-accept"),
@@ -314,13 +365,67 @@ mod tests {
     }
 
     #[test]
-    fn seed_derivation_is_the_documented_rule() {
+    fn seed_derivation_is_deterministic_and_input_sensitive() {
         let spec = builtin("paper-default").unwrap().with_base_seed(100);
-        assert_eq!(spec.seed_for(10, 0), 100 + 10_000);
-        assert_eq!(spec.seed_for(10, 7), 100 + 10_007);
+        let c = ControllerSpec::FacsP;
+        // Deterministic.
+        assert_eq!(spec.seed_for(&c, 3, 0), spec.seed_for(&c, 3, 0));
+        // Sensitive to every component of the cell coordinate.
+        assert_ne!(spec.seed_for(&c, 3, 0), spec.seed_for(&c, 3, 1));
+        assert_ne!(spec.seed_for(&c, 3, 0), spec.seed_for(&c, 4, 0));
+        assert_ne!(
+            spec.seed_for(&c, 3, 0),
+            spec.seed_for(&ControllerSpec::Facs, 3, 0)
+        );
+        assert_ne!(
+            spec.seed_for(&c, 3, 0),
+            spec.clone().with_base_seed(101).seed_for(&c, 3, 0)
+        );
+        // Keyed on the controller *label*, not its list position: a
+        // controller's stream is the same whether swept alone or jointly.
+        assert_eq!(
+            spec.seed_for(&ControllerSpec::Facs, 2, 1),
+            spec.clone()
+                .with_controllers(vec![ControllerSpec::Facs])
+                .seed_for(&ControllerSpec::Facs, 2, 1)
+        );
         // Wrapping, never panicking.
         let spec = spec.with_base_seed(u64::MAX);
-        let _ = spec.seed_for(usize::MAX, usize::MAX);
+        let _ = spec.seed_for(&c, usize::MAX, usize::MAX);
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_a_large_cell_grid() {
+        // The satellite guarantee of the SplitMix64 derivation: every
+        // (controller, load index, replication) cell of a large grid gets
+        // its own seed — the old affine formula collided as soon as
+        // replications crossed the 1000-seed load spacing.
+        let spec = builtin("paper-default").unwrap().with_base_seed(0xFACADE);
+        let controllers = [
+            ControllerSpec::FacsP,
+            ControllerSpec::Facs,
+            ControllerSpec::Scc,
+            ControllerSpec::AlwaysAccept,
+            ControllerSpec::Threshold {
+                new_call: 0.8,
+                handoff: 1.0,
+            },
+        ];
+        let loads = 40;
+        let reps = 250;
+        let mut seeds = std::collections::HashSet::new();
+        for c in &controllers {
+            for load_index in 0..loads {
+                for rep in 0..reps {
+                    seeds.insert(spec.seed_for(c, load_index, rep));
+                }
+            }
+        }
+        assert_eq!(
+            seeds.len(),
+            controllers.len() * loads * reps,
+            "every cell must draw a distinct seed"
+        );
     }
 
     #[test]
@@ -329,9 +434,11 @@ mod tests {
         let LoadMode::RequestsPerWindow { window_s } = spec.load_mode else {
             panic!("paper-default sweeps requests per window");
         };
-        let cfg = spec.sim_config(50, 0);
+        let c = ControllerSpec::FacsP;
+        let load_index = spec.load_points.iter().position(|&l| l == 50).unwrap();
+        let cfg = spec.sim_config(&c, load_index, 0);
         assert!((cfg.traffic.mean_interarrival_s - window_s / 50.0).abs() < 1e-12);
-        assert_eq!(cfg.seed, spec.seed_for(50, 0));
+        assert_eq!(cfg.seed, spec.seed_for(&c, load_index, 0));
         assert_eq!(cfg.station_capacity, spec.station_capacity);
     }
 
@@ -340,7 +447,7 @@ mod tests {
         let mut spec = builtin("highway-handoff").unwrap();
         spec.load_mode = LoadMode::TotalRequests;
         let expected = spec.traffic.mean_interarrival_s;
-        let cfg = spec.sim_config(500, 2);
+        let cfg = spec.sim_config(&ControllerSpec::Scc, 0, 2);
         assert_eq!(cfg.traffic.mean_interarrival_s, expected);
     }
 
@@ -358,13 +465,9 @@ mod tests {
         let mut zero_cap = good.clone();
         zero_cap.station_capacity = 0;
         assert!(zero_cap.validate().is_err());
-        let mut too_many_reps = good.clone();
-        too_many_reps.replications = 1001;
-        assert!(
-            too_many_reps.validate().is_err(),
-            "replications beyond the 1000-seed spacing would collide"
-        );
-        assert!(good.clone().with_replications(1000).validate().is_ok());
+        // The hashed seed derivation has no replication ceiling (the old
+        // affine formula capped replications at its 1000-seed spacing).
+        assert!(good.clone().with_replications(100_000).validate().is_ok());
         let mut bad_window = good.clone();
         bad_window.load_mode = LoadMode::RequestsPerWindow { window_s: -1.0 };
         assert!(bad_window.validate().is_err());

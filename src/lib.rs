@@ -45,7 +45,7 @@ pub mod prelude {
     };
     pub use facs::{
         DifferentiatedService, FacsConfig, FacsController, FacsPConfig, FacsPController, Flc1,
-        Flc2, PaperParams, PriorityPolicy, RequestPriority,
+        Flc2, Flc2Lut, PaperParams, PriorityPolicy, RequestPriority,
     };
     pub use fuzzy::prelude::*;
     pub use scc::{SccAdmission, SccConfig};
