@@ -52,9 +52,32 @@ fn bench_poisson_multicell(c: &mut Criterion) {
     });
 }
 
+/// The sweep-worker shape: one simulator re-armed per cell with `reset`,
+/// so every internal buffer is reused instead of rebuilt.
+fn bench_simulator_reuse(c: &mut Criterion) {
+    let cfg = SimConfig::paper_default().with_seed(7);
+    let mut group = c.benchmark_group("simulation/poisson_2000");
+    group.bench_function("fresh simulator per run", |b| {
+        let mut controller = ControllerKind::AlwaysAccept.build();
+        b.iter(|| {
+            let mut sim = Simulator::new(cfg.clone());
+            black_box(sim.run_poisson(controller.as_mut(), 2000))
+        })
+    });
+    group.bench_function("reused simulator (reset)", |b| {
+        let mut controller = ControllerKind::AlwaysAccept.build();
+        let mut sim = Simulator::new(cfg.clone());
+        b.iter(|| {
+            sim.reset(cfg.clone());
+            black_box(sim.run_poisson(controller.as_mut(), 2000))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = simulation;
     config = Criterion::default().sample_size(20);
-    targets = bench_traffic_generation, bench_batch_runs, bench_poisson_multicell
+    targets = bench_traffic_generation, bench_batch_runs, bench_poisson_multicell, bench_simulator_reuse
 );
 criterion_main!(simulation);

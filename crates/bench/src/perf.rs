@@ -10,12 +10,15 @@
 //! PRs.
 
 use cellsim::geometry::CellId;
-use cellsim::sim::{AdmissionController, AdmissionDecision, AdmissionRequest};
+use cellsim::sim::{
+    AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, SimConfig, Simulator,
+};
 use cellsim::station::BaseStation;
 use cellsim::traffic::ServiceClass;
 use facs::{FacsController, FacsPController, Flc1, Flc2};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+use sweep::{builtin, SweepRunner};
 
 /// One timed case.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,6 +29,15 @@ pub struct PerfCase {
     pub ns_per_iter: f64,
     /// Timed iterations.
     pub iters: u64,
+}
+
+/// Sweep throughput at one worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepThroughput {
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// Finished `(controller, load, replication)` cells per second.
+    pub cells_per_sec: f64,
 }
 
 /// The serialisable perf baseline.
@@ -41,6 +53,14 @@ pub struct PerfReport {
     pub facs_decision_speedup: f64,
     /// Interpreted vs LUT speedup of the same cascade.
     pub facs_decision_speedup_lut: f64,
+    /// Whole-simulation throughput: events per second through
+    /// `run_poisson` on the paper-default configuration under the
+    /// admit-if-it-fits controller — the engine-core headline (the
+    /// decision-dominated variants are separate `sim/` cases).
+    pub sim_events_per_sec: f64,
+    /// End-to-end sweep throughput of the paper-default scenario at
+    /// 1/2/4 worker threads.
+    pub sweep_cells_per_sec: Vec<SweepThroughput>,
 }
 
 impl PerfReport {
@@ -78,6 +98,18 @@ impl PerfReport {
             "FACS-P decision speedup (interpreted -> LUT):      {:.1}x\n",
             self.facs_decision_speedup_lut
         ));
+        out.push_str(&format!(
+            "Simulator throughput (paper-default, always-accept): {:.2}M events/s\n",
+            self.sim_events_per_sec / 1e6
+        ));
+        for s in &self.sweep_cells_per_sec {
+            out.push_str(&format!(
+                "Sweep throughput (paper-default, {} thread{}):      {:.0} cells/s\n",
+                s.threads,
+                if s.threads == 1 { "" } else { "s" },
+                s.cells_per_sec
+            ));
+        }
         out
     }
 }
@@ -95,6 +127,56 @@ fn time_case(name: &str, iters: u64, mut routine: impl FnMut() -> f64) -> PerfCa
         name: name.to_string(),
         ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
         iters,
+    }
+}
+
+/// Time whole `run_poisson` simulations on the paper-default
+/// configuration, reporting nanoseconds *per processed event* (so
+/// `1e9 / ns_per_iter` is the engine's events-per-second throughput).
+/// One warm-up run sizes every reused buffer; the timed runs then reuse
+/// the same simulator via `reset`, exactly like a sweep worker.
+fn time_sim_events(name: &str, controller: &mut dyn AdmissionController, quick: bool) -> PerfCase {
+    let requests = if quick { 4_000 } else { 20_000 };
+    let runs = if quick { 3 } else { 5 };
+    let config = SimConfig::paper_default().with_seed(0xBEEF);
+    let mut sim = Simulator::new(config.clone());
+    std::hint::black_box(sim.run_poisson(controller, requests));
+    let mut events = 0u64;
+    let start = Instant::now();
+    for _ in 0..runs {
+        sim.reset(config.clone());
+        std::hint::black_box(sim.run_poisson(controller, requests));
+        events += sim.events_processed();
+    }
+    let elapsed = start.elapsed();
+    PerfCase {
+        name: name.to_string(),
+        ns_per_iter: elapsed.as_nanos() as f64 / events as f64,
+        iters: events,
+    }
+}
+
+/// Time full paper-default sweeps at one worker count, reporting
+/// nanoseconds *per finished cell* (so `1e9 / ns_per_iter` is cells per
+/// second).
+fn time_sweep_cells(threads: usize, quick: bool) -> PerfCase {
+    let spec = builtin("paper-default").expect("paper-default is built in");
+    let spec = if quick { spec.quick() } else { spec };
+    let cells_per_run =
+        (spec.controllers.len() * spec.load_points.len() * spec.replications) as u64;
+    let runs = if quick { 3 } else { 1 };
+    let runner = SweepRunner::with_threads(threads);
+    std::hint::black_box(runner.run(&spec).expect("built-in spec is valid"));
+    let start = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(runner.run(&spec).expect("built-in spec is valid"));
+    }
+    let elapsed = start.elapsed();
+    let cells = cells_per_run * runs;
+    PerfCase {
+        name: format!("sweep/paper-default cells ({threads} thread)"),
+        ns_per_iter: elapsed.as_nanos() as f64 / cells as f64,
+        iters: cells,
     }
 }
 
@@ -256,11 +338,38 @@ pub fn run(quick: bool) -> PerfReport {
     cases.push(compiled_cascade);
     cases.push(lut_cascade);
 
+    // --- whole-simulation throughput: events/sec through run_poisson -----
+    let engine_case = time_sim_events(
+        "sim/paper-default poisson events (always-accept)",
+        &mut AlwaysAccept,
+        quick,
+    );
+    let sim_events_per_sec = 1e9 / engine_case.ns_per_iter;
+    cases.push(engine_case);
+    cases.push(time_sim_events(
+        "sim/paper-default poisson events (facs-p-lut)",
+        &mut FacsPController::paper_default_lut(),
+        quick,
+    ));
+
+    // --- end-to-end sweep throughput at 1/2/4 workers --------------------
+    let mut sweep_cells_per_sec = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let case = time_sweep_cells(threads, quick);
+        sweep_cells_per_sec.push(SweepThroughput {
+            threads,
+            cells_per_sec: 1e9 / case.ns_per_iter,
+        });
+        cases.push(case);
+    }
+
     PerfReport {
         quick,
         cases,
         facs_decision_speedup,
         facs_decision_speedup_lut,
+        sim_events_per_sec,
+        sweep_cells_per_sec,
     }
 }
 
@@ -284,6 +393,23 @@ mod tests {
         assert!(report.case("cascade/facs-p compiled (flc1+flc2)").is_some());
         assert!(report.facs_decision_speedup > 0.0);
         assert!(report.facs_decision_speedup_lut > 0.0);
+        // The end-to-end cases the CI perf gate requires.
+        assert!(report
+            .case("sim/paper-default poisson events (always-accept)")
+            .is_some());
+        assert!(report
+            .case("sim/paper-default poisson events (facs-p-lut)")
+            .is_some());
+        for threads in [1, 2, 4] {
+            assert!(report
+                .case(&format!("sweep/paper-default cells ({threads} thread)"))
+                .is_some());
+        }
+        assert!(report.sim_events_per_sec.is_finite() && report.sim_events_per_sec > 0.0);
+        assert_eq!(report.sweep_cells_per_sec.len(), 3);
+        for s in &report.sweep_cells_per_sec {
+            assert!(s.cells_per_sec.is_finite() && s.cells_per_sec > 0.0);
+        }
     }
 
     #[test]

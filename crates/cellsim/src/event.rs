@@ -3,40 +3,54 @@
 //! Events are ordered by time (earliest first); ties are broken by a
 //! monotonically increasing sequence number so insertion order is preserved
 //! and the simulation stays deterministic.
+//!
+//! Events are small `Copy` values: an arrival references its
+//! [`crate::traffic::CallRequest`] by index into the run's pre-generated
+//! arrival buffer instead of owning a clone, and departures/handoffs carry
+//! a dense [`CellIdx`] plus the connection's user [`SlotId`] handle.  The
+//! queue's backing heap keeps its capacity across [`EventQueue::clear`], so
+//! a warmed-up simulator schedules and pops events without allocating.
 
-use crate::geometry::CellId;
-use crate::traffic::CallRequest;
+use crate::geometry::CellIdx;
+use crate::slab::SlotId;
 use crate::SimTime;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// What happens when an event fires.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum EventKind {
     /// A new call request arrives in `cell`.
     Arrival {
-        /// The cell where the request is made.
-        cell: CellId,
-        /// The request itself.
-        request: CallRequest,
+        /// Dense index of the cell where the request is made.
+        cell: CellIdx,
+        /// Index of the request in the run's arrival buffer.
+        call: u32,
     },
     /// An admitted connection completes normally.
     Departure {
-        /// The cell currently serving the connection.
-        cell: CellId,
+        /// Dense index of the cell scheduled to serve the connection at
+        /// completion time (a stale index after an intervening handoff —
+        /// the release simply misses and the event is a no-op).
+        cell: CellIdx,
         /// The connection id.
         connection_id: u64,
+        /// The connection's user-state slot (`None` in single-cell runs,
+        /// which track no user kinematics).
+        user: Option<SlotId>,
     },
     /// An on-going connection attempts to hand off between two cells.
     Handoff {
-        /// The cell the connection is leaving.
-        from: CellId,
-        /// The cell the connection wants to enter.
-        to: CellId,
+        /// Dense index of the cell the connection is leaving.
+        from: CellIdx,
+        /// Dense index of the cell the connection wants to enter.
+        to: CellIdx,
         /// The connection id.
         connection_id: u64,
+        /// The connection's user-state slot.
+        user: SlotId,
     },
     /// Periodic mobility update (multi-cell scenarios).
     MobilityTick,
@@ -45,7 +59,7 @@ pub enum EventKind {
 }
 
 /// A timestamped event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Event {
     /// Firing time in seconds.
     pub time: SimTime,
@@ -123,30 +137,34 @@ impl EventQueue {
         self.heap.is_empty()
     }
 
-    /// Remove every pending event.
+    /// Ensure room for at least `additional` more events without further
+    /// growth reallocations.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Capacity of the backing heap.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Remove every pending event, keeping the backing storage, and reset
+    /// the sequence counter.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.next_sequence = 0;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::ServiceClass;
 
-    fn arrival(t: SimTime, id: u64) -> EventKind {
+    fn arrival(id: u32) -> EventKind {
         EventKind::Arrival {
-            cell: CellId::origin(),
-            request: CallRequest {
-                id,
-                arrival_time: t,
-                class: ServiceClass::Text,
-                bandwidth: 1,
-                holding_time: 10.0,
-                speed_kmh: 10.0,
-                angle_deg: 0.0,
-                is_handoff: false,
-            },
+            cell: CellIdx(0),
+            call: id,
         }
     }
 
@@ -155,7 +173,7 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(10.0, EventKind::MobilityTick);
         q.schedule(5.0, EventKind::EndOfSimulation);
-        q.schedule(7.5, arrival(7.5, 1));
+        q.schedule(7.5, arrival(1));
         assert_eq!(q.len(), 3);
         assert_eq!(q.pop().unwrap().time, 5.0);
         assert_eq!(q.pop().unwrap().time, 7.5);
@@ -166,12 +184,12 @@ mod tests {
     #[test]
     fn ties_are_broken_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.schedule(1.0, arrival(1.0, 100));
-        q.schedule(1.0, arrival(1.0, 200));
-        q.schedule(1.0, arrival(1.0, 300));
-        let ids: Vec<u64> = (0..3)
+        q.schedule(1.0, arrival(100));
+        q.schedule(1.0, arrival(200));
+        q.schedule(1.0, arrival(300));
+        let ids: Vec<u32> = (0..3)
             .map(|_| match q.pop().unwrap().kind {
-                EventKind::Arrival { request, .. } => request.id,
+                EventKind::Arrival { call, .. } => call,
                 _ => unreachable!(),
             })
             .collect();
@@ -197,30 +215,67 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties_queue() {
+    fn clear_empties_queue_and_keeps_capacity() {
         let mut q = EventQueue::new();
-        q.schedule(1.0, EventKind::MobilityTick);
-        q.schedule(2.0, EventKind::MobilityTick);
+        for i in 0..64 {
+            q.schedule(f64::from(i), EventKind::MobilityTick);
+        }
+        let cap = q.capacity();
         q.clear();
         assert!(q.is_empty());
+        assert!(q.capacity() >= cap, "clear must keep the backing storage");
+        // Sequence numbers restart, so replays are bit-identical.
+        q.schedule(1.0, arrival(1));
+        assert_eq!(q.pop().unwrap().sequence, 0);
+    }
+
+    #[test]
+    fn events_are_small_copy_values() {
+        // The whole point of indexing arrivals instead of owning them: an
+        // event moves a few machine words through the heap, not a cloned
+        // CallRequest.
+        assert!(
+            std::mem::size_of::<Event>() <= 48,
+            "Event grew to {} bytes",
+            std::mem::size_of::<Event>()
+        );
+        let e = Event {
+            time: 4.0,
+            sequence: 9,
+            kind: EventKind::Handoff {
+                from: CellIdx(0),
+                to: CellIdx(1),
+                connection_id: 9,
+                user: {
+                    let mut slab = crate::slab::Slab::new();
+                    slab.insert(())
+                },
+            },
+        };
+        let copy = e; // Copy, not move
+        assert_eq!(copy, e);
     }
 
     #[test]
     fn handoff_and_departure_events_carry_cells() {
         let mut q = EventQueue::new();
+        let mut slab = crate::slab::Slab::new();
+        let slot = slab.insert(());
         q.schedule(
             4.0,
             EventKind::Handoff {
-                from: CellId::new(0, 0),
-                to: CellId::new(1, 0),
+                from: CellIdx(0),
+                to: CellIdx(1),
                 connection_id: 9,
+                user: slot,
             },
         );
         q.schedule(
             2.0,
             EventKind::Departure {
-                cell: CellId::origin(),
+                cell: CellIdx(0),
                 connection_id: 3,
+                user: None,
             },
         );
         match q.pop().unwrap().kind {
@@ -232,9 +287,10 @@ mod tests {
                 from,
                 to,
                 connection_id,
+                ..
             } => {
-                assert_eq!(from, CellId::new(0, 0));
-                assert_eq!(to, CellId::new(1, 0));
+                assert_eq!(from, CellIdx(0));
+                assert_eq!(to, CellIdx(1));
                 assert_eq!(connection_id, 9);
             }
             other => panic!("unexpected {other:?}"),

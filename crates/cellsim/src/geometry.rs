@@ -49,6 +49,31 @@ impl Point {
     }
 }
 
+/// Dense index of a cell within a [`CellGrid`]: its position in the
+/// grid's sorted [`CellGrid::cells`] order.
+///
+/// The simulator stores per-cell state (base stations) in flat `Vec`s
+/// indexed by `CellIdx`, so the hot paths never hash a [`CellId`]; the
+/// `CellId ↔ CellIdx` mapping is fixed at grid construction
+/// ([`CellGrid::index_of`]) and iteration in index order is deterministic
+/// by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellIdx(pub u32);
+
+impl CellIdx {
+    /// The index as a `usize`, for direct slice indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CellIdx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
 /// Axial coordinates of a hexagonal cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId {
@@ -123,11 +148,7 @@ impl CellGrid {
     /// each with a centre-to-corner radius of `cell_radius_m` metres.
     #[must_use]
     pub fn new(radius_cells: u32, cell_radius_m: f64) -> Self {
-        let cell_radius_m = if cell_radius_m > 0.0 {
-            cell_radius_m
-        } else {
-            500.0
-        };
+        let cell_radius_m = Self::effective_radius(cell_radius_m);
         let r = radius_cells as i32;
         let mut cells = Vec::new();
         for q in -r..=r {
@@ -149,6 +170,19 @@ impl CellGrid {
     #[must_use]
     pub fn single_cell(cell_radius_m: f64) -> Self {
         Self::new(0, cell_radius_m)
+    }
+
+    /// The cell radius [`CellGrid::new`] actually uses for a requested
+    /// radius: non-positive (or NaN) requests fall back to 500 m.  Exposed
+    /// so callers that compare a configuration against an existing grid
+    /// (e.g. `Simulator::reset`) apply the identical clamp.
+    #[must_use]
+    pub fn effective_radius(cell_radius_m: f64) -> f64 {
+        if cell_radius_m > 0.0 {
+            cell_radius_m
+        } else {
+            500.0
+        }
     }
 
     /// All cells of the grid, sorted.
@@ -185,6 +219,26 @@ impl CellGrid {
     #[must_use]
     pub fn contains(&self, cell: &CellId) -> bool {
         cell.distance(&CellId::origin()) <= self.radius_cells
+    }
+
+    /// The dense index of `cell` in [`CellGrid::cells`] order, or `None`
+    /// when the cell is outside the grid.  `cells()` is sorted, so this is
+    /// a binary search — no hashing, no allocation.
+    #[must_use]
+    pub fn index_of(&self, cell: &CellId) -> Option<CellIdx> {
+        self.cells
+            .binary_search(cell)
+            .ok()
+            .map(|i| CellIdx(i as u32))
+    }
+
+    /// The cell at dense index `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range for this grid.
+    #[must_use]
+    pub fn cell_id(&self, idx: CellIdx) -> CellId {
+        self.cells[idx.index()]
     }
 
     /// Cartesian position of a cell's centre (pointy-top hex layout).
@@ -427,6 +481,20 @@ mod tests {
         assert_eq!(normalize_angle(f64::NAN), 0.0);
         assert!((angle_difference(170.0, -170.0) - (-20.0)).abs() < 1e-12);
         assert!((angle_difference(-170.0, 170.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_indices_round_trip_and_follow_sorted_order() {
+        let g = CellGrid::new(2, 500.0);
+        for (i, c) in g.cells().iter().enumerate() {
+            let idx = g.index_of(c).unwrap();
+            assert_eq!(idx, CellIdx(i as u32));
+            assert_eq!(idx.index(), i);
+            assert_eq!(g.cell_id(idx), *c);
+        }
+        // Outside cells have no index.
+        assert!(g.index_of(&CellId::new(3, 0)).is_none());
+        assert_eq!(CellIdx(4).to_string(), "cell#4");
     }
 
     #[test]

@@ -26,7 +26,9 @@
 //!   and Poisson/exponential call generators.
 //! * [`station`] — base stations: capacity bookkeeping and the real-time /
 //!   non-real-time occupancy counters (RTC / NRTC) used by FACS-P.
-//! * [`event`] — the discrete-event queue.
+//! * [`event`] — the discrete-event queue (small `Copy` events over dense
+//!   cell indices and slab handles).
+//! * [`slab`] — generational slab storage for per-connection state.
 //! * [`sim`] — the simulation driver and the [`AdmissionController`] trait.
 //! * [`metrics`] — acceptance/blocking/dropping statistics and time series.
 //! * [`rng`] — small deterministic RNG helpers so every experiment is
@@ -42,11 +44,12 @@ pub mod metrics;
 pub mod mobility;
 pub mod rng;
 pub mod sim;
+pub mod slab;
 pub mod station;
 pub mod traffic;
 
 pub use event::{Event, EventKind, EventQueue};
-pub use geometry::{CellGrid, CellId, Point};
+pub use geometry::{CellGrid, CellId, CellIdx, Point};
 pub use metrics::{ClassMetrics, Metrics, StatAccumulator, SummaryStats};
 pub use mobility::{MobilityModel, UserState};
 pub use rng::SimRng;
@@ -54,6 +57,7 @@ pub use sim::{
     AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, CapacityThreshold,
     SimConfig, SimReport, Simulator,
 };
+pub use slab::{Slab, SlotId};
 pub use station::{BaseStation, StationError};
 pub use traffic::{CallRequest, ServiceClass, TrafficGenerator, TrafficMix};
 

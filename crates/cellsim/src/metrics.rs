@@ -87,6 +87,17 @@ impl Metrics {
         Self::default()
     }
 
+    /// Zero every counter and drop every sample, keeping the utilisation
+    /// buffer's capacity — so a simulator reused across runs records fresh
+    /// metrics without reallocating.
+    pub fn reset(&mut self) {
+        self.per_class = [ClassMetrics::default(); 3];
+        self.handoff_offered = 0;
+        self.handoff_accepted = 0;
+        self.handoff_failed = 0;
+        self.utilization.clear();
+    }
+
     /// Record an offered request (before the admission decision).
     pub fn record_offered(&mut self, class: ServiceClass, is_handoff: bool) {
         self.per_class[class.index()].offered += 1;
@@ -457,6 +468,20 @@ mod tests {
         let mut z = Metrics::new();
         z.record_utilization(0.0, 0, 0);
         assert_eq!(z.mean_utilization(), 1.0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters_and_keeps_sample_capacity() {
+        let mut m = Metrics::new();
+        m.record_offered(ServiceClass::Voice, true);
+        m.record_accepted(ServiceClass::Voice, 5, true);
+        for i in 0..32 {
+            m.record_utilization(f64::from(i), i, 40);
+        }
+        let cap = m.utilization.capacity();
+        m.reset();
+        assert_eq!(m, Metrics::new());
+        assert_eq!(m.utilization.capacity(), cap, "sample buffer is reused");
     }
 
     #[test]

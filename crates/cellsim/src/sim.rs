@@ -13,15 +13,15 @@
 //!   grid (used by the examples that go beyond the paper's single cell).
 
 use crate::event::{EventKind, EventQueue};
-use crate::geometry::{CellGrid, CellId};
+use crate::geometry::{CellGrid, CellId, CellIdx};
 use crate::metrics::Metrics;
 use crate::mobility::{spawn_uniform, MobilityModel, UserState};
 use crate::rng::SimRng;
-use crate::station::BaseStation;
+use crate::slab::{Slab, SlotId};
+use crate::station::{ActiveConnection, BaseStation};
 use crate::traffic::{CallRequest, ServiceClass, TrafficConfig, TrafficGenerator};
 use crate::{Bandwidth, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Everything an admission controller may inspect about a request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -123,7 +123,11 @@ impl AdmissionDecision {
 /// shadow-cluster projections of SCC or the priority counters of FACS-P).
 pub trait AdmissionController {
     /// Human-readable name used in reports.
-    fn name(&self) -> &str;
+    ///
+    /// Static so the hot paths never allocate a label: a run's name is
+    /// materialised into a `String` exactly once, when its [`SimReport`]
+    /// is built.
+    fn name(&self) -> &'static str;
 
     /// Decide whether to admit `request` given the current state of the
     /// serving `station`.
@@ -180,7 +184,7 @@ pub trait AdmissionController {
 pub struct AlwaysAccept;
 
 impl AdmissionController for AlwaysAccept {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "always-accept"
     }
 
@@ -219,7 +223,7 @@ impl Default for CapacityThreshold {
 }
 
 impl AdmissionController for CapacityThreshold {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "capacity-threshold"
     }
 
@@ -369,15 +373,33 @@ impl SimReport {
 }
 
 /// The discrete-event simulator.
+///
+/// All per-cell and per-connection state is stored densely: one
+/// [`BaseStation`] per grid cell in a flat `Vec` indexed by [`CellIdx`]
+/// (grid order — iteration is deterministic by construction), user
+/// kinematics in a generational [`Slab`] whose handles ride inside the
+/// (small, `Copy`) events, and the arrival buffer plus all per-tick
+/// scratch reused across runs.  A warmed-up simulator therefore runs its
+/// event loop without heap allocation, and [`Simulator::reset`] recycles
+/// the whole machine for the next sweep cell.
 pub struct Simulator {
     config: SimConfig,
     grid: CellGrid,
-    stations: HashMap<CellId, BaseStation>,
-    users: HashMap<u64, UserState>,
+    /// One station per grid cell, indexed by `CellIdx` (grid order).
+    stations: Vec<BaseStation>,
+    /// Kinematic state of admitted users (multi-cell runs only; the
+    /// paper's single cell has no handoffs to predict).
+    users: Slab<UserState>,
     queue: EventQueue,
     metrics: Metrics,
     clock: SimTime,
     rng: SimRng,
+    /// Events popped by `run_poisson` loops since construction/reset.
+    events_processed: u64,
+    /// Reused arrival buffer (`run_batch` / `run_poisson` workloads).
+    arrivals: Vec<CallRequest>,
+    /// Reused scratch for expired-connection batches.
+    expired: Vec<ActiveConnection>,
 }
 
 impl Simulator {
@@ -385,27 +407,60 @@ impl Simulator {
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
         let grid = CellGrid::new(config.grid_radius_cells, config.cell_radius_m);
-        let stations = grid
-            .cells()
-            .iter()
-            .map(|&c| {
-                (
-                    c,
-                    BaseStation::new(c, grid.center_of(&c), config.station_capacity),
-                )
-            })
-            .collect();
+        let stations = Self::build_stations(&grid, config.station_capacity);
         let rng = SimRng::new(config.seed).derive(0xD15C);
         Self {
             grid,
             stations,
-            users: HashMap::new(),
+            users: Slab::new(),
             queue: EventQueue::new(),
             metrics: Metrics::new(),
             clock: 0.0,
             rng,
+            events_processed: 0,
+            arrivals: Vec::new(),
+            expired: Vec::new(),
             config,
         }
+    }
+
+    fn build_stations(grid: &CellGrid, capacity: Bandwidth) -> Vec<BaseStation> {
+        grid.cells()
+            .iter()
+            .map(|&c| BaseStation::new(c, grid.center_of(&c), capacity))
+            .collect()
+    }
+
+    /// Re-arm the simulator for a fresh run under `config`, reusing every
+    /// internal buffer (stations, user slab, event heap, arrival and
+    /// scratch vectors).  Equivalent to `*self = Simulator::new(config)` —
+    /// a reset simulator produces bit-identical results to a freshly
+    /// built one (asserted by tests) — but without re-allocating, which
+    /// is what lets a sweep worker run thousands of cells on one
+    /// simulator.
+    pub fn reset(&mut self, config: SimConfig) {
+        if self.grid.radius_cells() != config.grid_radius_cells
+            || self.grid.cell_radius_m() != CellGrid::effective_radius(config.cell_radius_m)
+        {
+            self.grid = CellGrid::new(config.grid_radius_cells, config.cell_radius_m);
+            self.stations.clear();
+            self.stations.extend(
+                self.grid.cells().iter().map(|&c| {
+                    BaseStation::new(c, self.grid.center_of(&c), config.station_capacity)
+                }),
+            );
+        } else {
+            for station in &mut self.stations {
+                station.reset_for_run(config.station_capacity);
+            }
+        }
+        self.users.clear();
+        self.queue.clear();
+        self.metrics.reset();
+        self.clock = 0.0;
+        self.rng = SimRng::new(config.seed).derive(0xD15C);
+        self.events_processed = 0;
+        self.config = config;
     }
 
     /// The simulator's configuration.
@@ -423,7 +478,15 @@ impl Simulator {
     /// The station serving `cell`, if it exists.
     #[must_use]
     pub fn station(&self, cell: &CellId) -> Option<&BaseStation> {
-        self.stations.get(cell)
+        self.grid
+            .index_of(cell)
+            .map(|idx| &self.stations[idx.index()])
+    }
+
+    /// All stations, in dense [`CellIdx`] (grid) order.
+    #[must_use]
+    pub fn stations(&self) -> &[BaseStation] {
+        &self.stations
     }
 
     /// Current simulation time (seconds).
@@ -432,10 +495,26 @@ impl Simulator {
         self.clock
     }
 
-    /// Metrics accumulated so far.
+    /// Events processed by [`Simulator::run_poisson`] loops since
+    /// construction or the last [`Simulator::reset`] — the denominator of
+    /// the engine's events-per-second throughput.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Metrics accumulated since the last report was taken.
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Build the run's report by *taking* the accumulated metrics (the
+    /// accumulator is left empty for the next run; no clone of the sample
+    /// series is made).
+    fn take_report(&mut self, controller: &'static str) -> SimReport {
+        let metrics = std::mem::take(&mut self.metrics);
+        SimReport::from_metrics(controller, metrics)
     }
 
     /// Offer `n` requesting connections (all generated from the configured
@@ -446,6 +525,10 @@ impl Simulator {
     /// requests are offered together, the base-station capacity is the
     /// binding resource exactly as in the paper's "number of requesting
     /// connections" sweeps.
+    ///
+    /// The returned report *takes* the metrics accumulated since the last
+    /// report (the accumulator restarts from zero), so back-to-back runs
+    /// on one simulator each describe exactly their own workload.
     pub fn run_batch<C: AdmissionController + ?Sized>(
         &mut self,
         controller: &mut C,
@@ -453,9 +536,11 @@ impl Simulator {
     ) -> SimReport {
         let mut generator =
             TrafficGenerator::new(self.config.traffic.clone(), self.rng.derive(1).seed());
-        let requests = generator.generate_batch(n);
+        let mut requests = std::mem::take(&mut self.arrivals);
+        generator.generate_batch_into(n, &mut requests);
         self.offer_requests(controller, &requests);
-        SimReport::from_metrics(controller.name(), self.metrics.clone())
+        self.arrivals = requests;
+        self.take_report(controller.name())
     }
 
     /// Screen a batch of requests against the **current** station
@@ -487,14 +572,18 @@ impl Simulator {
             while j < requests.len() && requests[j].cell == cell {
                 j += 1;
             }
-            match self.stations.get(&cell) {
+            match self.grid.index_of(&cell) {
                 // The whole batch is one same-cell run (the common
                 // single-cell case): decide straight into `out`, no copy.
-                Some(station) if i == 0 && j == requests.len() => {
-                    controller.decide_batch(requests, station, out);
+                Some(idx) if i == 0 && j == requests.len() => {
+                    controller.decide_batch(requests, &self.stations[idx.index()], out);
                 }
-                Some(station) => {
-                    controller.decide_batch(&requests[i..j], station, &mut chunk);
+                Some(idx) => {
+                    controller.decide_batch(
+                        &requests[i..j],
+                        &self.stations[idx.index()],
+                        &mut chunk,
+                    );
                     out.extend_from_slice(&chunk);
                 }
                 None => out.extend((i..j).map(|_| AdmissionDecision::reject(-1.0))),
@@ -513,19 +602,35 @@ impl Simulator {
         requests: &[CallRequest],
     ) {
         let cell = CellId::origin();
+        let idx = self
+            .grid
+            .index_of(&cell)
+            .expect("every grid contains the origin cell");
         for call in requests {
             self.clock = self.clock.max(call.arrival_time);
             // Complete any calls that finished before this arrival.
-            self.release_expired(controller, cell);
+            self.release_expired(controller, idx);
             let distance = self.rng.uniform(0.0, self.grid.cell_radius_m()).max(0.0);
             let request = AdmissionRequest::from_call(call, cell).with_distance(distance);
-            self.offer_one(controller, &request);
+            self.offer_one(controller, &request, idx);
         }
     }
 
     /// Run a full Poisson-arrival discrete-event simulation for
     /// `total_requests` arrivals (multi-cell aware: admitted users move
     /// according to the mobility model and hand off between cells).
+    ///
+    /// Arrivals are pre-generated (time-sorted by construction) into a
+    /// reused buffer and consumed as a stream, mobility ticks are computed
+    /// on the fly, and only the *run-time* events — departures and
+    /// handoffs — live in the heap, which therefore stays at the size of
+    /// the concurrent-call population instead of the whole workload.  The
+    /// three streams are merged in exactly the order the one-big-heap
+    /// engine produced (arrivals before ticks before run-time events on
+    /// time ties, matching its sequence numbering), so results are
+    /// bit-identical; after warm-up the loop is allocation-free.  Like
+    /// [`Simulator::run_batch`], the returned report takes the metrics
+    /// accumulated since the last report.
     pub fn run_poisson<C: AdmissionController + ?Sized>(
         &mut self,
         controller: &mut C,
@@ -533,85 +638,130 @@ impl Simulator {
     ) -> SimReport {
         let mut generator =
             TrafficGenerator::new(self.config.traffic.clone(), self.rng.derive(2).seed());
-        let arrivals = generator.generate_poisson(total_requests);
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        generator.generate_poisson_into(total_requests, &mut arrivals);
         let mut spawn_rng = self.rng.derive(3);
 
-        for call in &arrivals {
-            // Spawn each user somewhere in the grid.
-            let cell = if self.grid.len() == 1 {
-                CellId::origin()
-            } else {
-                let cells = self.grid.cells();
-                cells[spawn_rng.uniform_u32(0, (cells.len() - 1) as u32) as usize]
-            };
-            self.queue.schedule(
-                call.arrival_time,
-                EventKind::Arrival {
-                    cell,
-                    request: call.clone(),
-                },
-            );
-        }
-        if self.config.utilization_sample_interval_s > 0.0 {
-            let horizon = arrivals.last().map(|c| c.arrival_time).unwrap_or(0.0);
-            let mut t = 0.0;
-            while t <= horizon {
-                self.queue.schedule(t, EventKind::MobilityTick);
-                t += self.config.utilization_sample_interval_s;
-            }
-        }
+        let origin = self
+            .grid
+            .index_of(&CellId::origin())
+            .expect("every grid contains the origin cell");
+        let single_cell = self.grid.len() == 1;
 
-        while let Some(event) = self.queue.pop() {
+        // Mobility-tick stream: the same `t += interval` accumulation the
+        // scheduling loop used, so sample times are bit-identical.
+        let tick_interval = self.config.utilization_sample_interval_s;
+        let horizon = arrivals.last().map(|c| c.arrival_time).unwrap_or(0.0);
+        let mut next_tick = 0.0;
+        let mut ticks_pending = tick_interval > 0.0;
+
+        let mut next_arrival = 0usize;
+        loop {
+            // Earliest of the three streams; on exact time ties arrivals
+            // fire before ticks and ticks before run-time events —
+            // mirroring the sequence numbers the one-heap engine assigned
+            // (all arrivals first, then all ticks, then run-time events).
+            let arrival_time = arrivals.get(next_arrival).map(|c| c.arrival_time);
+            let tick_time = if ticks_pending && next_tick <= horizon {
+                Some(next_tick)
+            } else {
+                ticks_pending = false;
+                None
+            };
+            let queued_time = self.queue.peek().map(|e| e.time);
+
+            let fire_arrival = match (arrival_time, tick_time, queued_time) {
+                (Some(a), t, q) => t.is_none_or(|t| a <= t) && q.is_none_or(|q| a <= q),
+                _ => false,
+            };
+            if fire_arrival {
+                let time = arrival_time.expect("checked above");
+                self.clock = time;
+                self.events_processed += 1;
+                let call = arrivals[next_arrival];
+                next_arrival += 1;
+                let cell = if single_cell {
+                    origin
+                } else {
+                    CellIdx(spawn_rng.uniform_u32(0, (self.grid.len() - 1) as u32))
+                };
+                self.handle_arrival(controller, cell, &call);
+                continue;
+            }
+            let fire_tick = match (tick_time, queued_time) {
+                (Some(t), q) => q.is_none_or(|q| t <= q),
+                _ => false,
+            };
+            if fire_tick {
+                self.clock = next_tick;
+                self.events_processed += 1;
+                next_tick += tick_interval;
+                // Stations are stored in grid order, so the dense walk is
+                // deterministic by construction — no iteration-order
+                // workaround needed.
+                for station in &self.stations {
+                    self.metrics.record_utilization(
+                        self.clock,
+                        station.occupied(),
+                        station.capacity(),
+                    );
+                }
+                continue;
+            }
+            let Some(event) = self.queue.pop() else {
+                break;
+            };
             self.clock = event.time;
+            self.events_processed += 1;
             match event.kind {
-                EventKind::Arrival { cell, request } => {
-                    self.handle_arrival(controller, cell, &request);
+                EventKind::Arrival { .. } => {
+                    // Arrivals stream from the sorted buffer above and the
+                    // queue is private to the simulator, so one can never
+                    // be heap-scheduled; resolving a stale arrival index
+                    // against another run's buffer would silently process
+                    // the wrong request, so enforce the invariant.
+                    unreachable!("arrivals are streamed, never heap-scheduled");
                 }
                 EventKind::Departure {
                     cell,
                     connection_id,
+                    user,
                 } => {
-                    self.handle_departure(controller, cell, connection_id);
+                    self.handle_departure(controller, cell, connection_id, user);
                 }
                 EventKind::Handoff {
                     from,
                     to,
                     connection_id,
+                    user,
                 } => {
-                    self.handle_handoff(controller, from, to, connection_id);
+                    self.handle_handoff(controller, from, to, connection_id, user);
                 }
                 EventKind::MobilityTick => {
-                    // Walk the grid's fixed cell order, not the station
-                    // map: HashMap iteration order varies per process and
-                    // would make the sample sequence nondeterministic.
-                    for cell in self.grid.cells() {
-                        if let Some(station) = self.stations.get(cell) {
-                            self.metrics.record_utilization(
-                                self.clock,
-                                station.occupied(),
-                                station.capacity(),
-                            );
-                        }
+                    for station in &self.stations {
+                        self.metrics.record_utilization(
+                            self.clock,
+                            station.occupied(),
+                            station.capacity(),
+                        );
                     }
                 }
                 EventKind::EndOfSimulation => break,
             }
         }
-        SimReport::from_metrics(controller.name(), self.metrics.clone())
+        self.arrivals = arrivals;
+        self.take_report(controller.name())
     }
 
     fn offer_one<C: AdmissionController + ?Sized>(
         &mut self,
         controller: &mut C,
         request: &AdmissionRequest,
+        cell: CellIdx,
     ) {
         self.metrics
             .record_offered(request.class, request.is_handoff);
-        let Some(station) = self.stations.get(&request.cell) else {
-            self.metrics
-                .record_blocked(request.class, request.is_handoff);
-            return;
-        };
+        let station = &self.stations[cell.index()];
         let physically_fits = station.can_fit(request.bandwidth);
         let decision = if physically_fits {
             controller.decide(request, station)
@@ -619,11 +769,7 @@ impl Simulator {
             AdmissionDecision::reject(-1.0)
         };
         if decision.accept && physically_fits {
-            let station = self
-                .stations
-                .get_mut(&request.cell)
-                .expect("station exists: checked above");
-            station
+            self.stations[cell.index()]
                 .admit(
                     request.id,
                     request.class,
@@ -635,8 +781,7 @@ impl Simulator {
                 .expect("admission checked via can_fit");
             self.metrics
                 .record_accepted(request.class, request.bandwidth, request.is_handoff);
-            let station = &self.stations[&request.cell];
-            controller.on_admitted(request, station);
+            controller.on_admitted(request, &self.stations[cell.index()]);
         } else {
             self.metrics
                 .record_blocked(request.class, request.is_handoff);
@@ -646,49 +791,74 @@ impl Simulator {
     fn release_expired<C: AdmissionController + ?Sized>(
         &mut self,
         controller: &mut C,
-        cell: CellId,
+        cell: CellIdx,
     ) {
-        let Some(station) = self.stations.get_mut(&cell) else {
-            return;
-        };
-        let finished = station.release_expired(self.clock);
-        for conn in finished {
+        let mut finished = std::mem::take(&mut self.expired);
+        self.stations[cell.index()].release_expired_into(self.clock, &mut finished);
+        for conn in &finished {
             self.metrics.record_completed(conn.class);
-            let station = &self.stations[&cell];
-            controller.on_released(conn.id, station);
+            controller.on_released(conn.id, &self.stations[cell.index()]);
         }
+        self.expired = finished;
     }
 
     fn handle_arrival<C: AdmissionController + ?Sized>(
         &mut self,
         controller: &mut C,
-        cell: CellId,
+        cell: CellIdx,
         call: &CallRequest,
     ) {
-        // Materialise the user's kinematic state so the request's speed and
-        // angle are geometrically consistent.
-        let center = self.grid.center_of(&cell);
+        let cell_id = self.grid.cell_id(cell);
+        let center = self.grid.center_of(&cell_id);
         let mut spawn_rng = self.rng.derive(call.id ^ 0xA11C);
-        let mut user = spawn_uniform(
-            &center,
-            self.grid.cell_radius_m(),
-            (call.speed_kmh, call.speed_kmh),
-            &mut spawn_rng,
-        );
-        // Re-orient the heading so the angle to the base station matches the
-        // sampled request angle.
-        let bearing = user.position.bearing_to(&center);
-        user = UserState::new(user.position, call.speed_kmh, bearing + call.angle_deg);
-        let distance = user.distance_to(&center);
+        let user = if self.grid.len() > 1 {
+            // Materialise the user's kinematic state so the request's
+            // speed and angle are geometrically consistent, re-orienting
+            // the heading so the angle to the base station matches the
+            // sampled request angle.
+            let user = spawn_uniform(
+                &center,
+                self.grid.cell_radius_m(),
+                (call.speed_kmh, call.speed_kmh),
+                &mut spawn_rng,
+            );
+            let bearing = user.position.bearing_to(&center);
+            Some(UserState::new(
+                user.position,
+                call.speed_kmh,
+                bearing + call.angle_deg,
+            ))
+        } else {
+            // Single cell: no handoffs ever consume the kinematics, only
+            // the spawn distance survives into the request.  Evaluate the
+            // exact prefix of `spawn_uniform`'s draw sequence and float
+            // expressions (radius, then angle; the speed range is
+            // degenerate and draws nothing) so the distance is
+            // bit-identical to the full path, and skip the unused
+            // heading draw and re-orientation.
+            None
+        };
+        let distance = match &user {
+            Some(user) => user.distance_to(&center),
+            None => {
+                let r = self.grid.cell_radius_m().max(0.0) * spawn_rng.uniform(0.0, 1.0).sqrt();
+                let theta = spawn_rng.uniform(-std::f64::consts::PI, std::f64::consts::PI);
+                let pos = center.translated(r * theta.cos(), r * theta.sin());
+                pos.distance(&center)
+            }
+        };
 
-        let request = AdmissionRequest::from_call(call, cell).with_distance(distance);
+        let request = AdmissionRequest::from_call(call, cell_id).with_distance(distance);
         let before_accepted = self.metrics.accepted();
-        self.offer_one(controller, &request);
+        self.offer_one(controller, &request, cell);
         let admitted = self.metrics.accepted() > before_accepted;
         if !admitted {
             return;
         }
-        self.users.insert(call.id, user);
+        // Only multi-cell runs track user kinematics: a single cell has no
+        // handoffs to predict, so the slot stays `None` and the slab is
+        // never touched.
+        let slot = user.map(|user| self.users.insert(user));
         // Schedule the departure, and a handoff if the user exits the cell
         // before the call completes.
         let departure_at = self.clock + call.holding_time;
@@ -697,19 +867,26 @@ impl Simulator {
             EventKind::Departure {
                 cell,
                 connection_id: call.id,
+                user: slot,
             },
         );
-        self.maybe_schedule_handoff(cell, call.id, departure_at);
+        if let Some(slot) = slot {
+            self.maybe_schedule_handoff(cell, call.id, slot, departure_at);
+        }
     }
 
-    fn maybe_schedule_handoff(&mut self, cell: CellId, connection_id: u64, departure_at: SimTime) {
-        if self.grid.len() <= 1 {
-            return;
-        }
-        let Some(user) = self.users.get(&connection_id) else {
+    fn maybe_schedule_handoff(
+        &mut self,
+        cell: CellIdx,
+        connection_id: u64,
+        slot: SlotId,
+        departure_at: SimTime,
+    ) {
+        let Some(user) = self.users.get(slot).copied() else {
             return;
         };
-        let center = self.grid.center_of(&cell);
+        let cell_id = self.grid.cell_id(cell);
+        let center = self.grid.center_of(&cell_id);
         let Some(exit_in) = user.time_to_exit(&center, self.grid.cell_radius_m()) else {
             return;
         };
@@ -717,15 +894,20 @@ impl Simulator {
         if handoff_at >= departure_at {
             return;
         }
-        let Some(target) = self.grid.next_cell_along(&cell, user.heading_deg) else {
+        let Some(target) = self.grid.next_cell_along(&cell_id, user.heading_deg) else {
             return;
         };
+        let to = self
+            .grid
+            .index_of(&target)
+            .expect("next_cell_along only returns grid cells");
         self.queue.schedule(
             handoff_at,
             EventKind::Handoff {
                 from: cell,
-                to: target,
+                to,
                 connection_id,
+                user: slot,
             },
         );
     }
@@ -733,44 +915,45 @@ impl Simulator {
     fn handle_departure<C: AdmissionController + ?Sized>(
         &mut self,
         controller: &mut C,
-        cell: CellId,
+        cell: CellIdx,
         connection_id: u64,
+        user: Option<SlotId>,
     ) {
-        let Some(station) = self.stations.get_mut(&cell) else {
-            return;
-        };
-        if let Ok(conn) = station.release(connection_id) {
+        // After an intervening handoff the connection is gone from this
+        // station and the release misses: the event is stale and a no-op
+        // (its replacement was scheduled in the new cell).
+        if let Ok(conn) = self.stations[cell.index()].release(connection_id) {
             self.metrics.record_completed(conn.class);
-            self.users.remove(&connection_id);
-            let station = &self.stations[&cell];
-            controller.on_released(connection_id, station);
+            if let Some(slot) = user {
+                self.users.remove(slot);
+            }
+            controller.on_released(connection_id, &self.stations[cell.index()]);
         }
     }
 
     fn handle_handoff<C: AdmissionController + ?Sized>(
         &mut self,
         controller: &mut C,
-        from: CellId,
-        to: CellId,
+        from: CellIdx,
+        to: CellIdx,
         connection_id: u64,
+        slot: SlotId,
     ) {
         // The connection may have already completed or been dropped.
-        let Some(station_from) = self.stations.get_mut(&from) else {
+        let Ok(conn) = self.stations[from.index()].transfer_out(connection_id) else {
             return;
         };
-        let Ok(conn) = station_from.transfer_out(connection_id) else {
-            return;
-        };
-        controller.on_released(connection_id, &self.stations[&from]);
+        controller.on_released(connection_id, &self.stations[from.index()]);
 
-        let Some(user) = self.users.get(&connection_id).copied() else {
+        let Some(user) = self.users.get(slot).copied() else {
             return;
         };
-        let target_center = self.grid.center_of(&to);
+        let to_id = self.grid.cell_id(to);
+        let target_center = self.grid.center_of(&to_id);
         let remaining = (conn.ends_at - self.clock).max(0.0);
         let request = AdmissionRequest {
             id: connection_id,
-            cell: to,
+            cell: to_id,
             time: self.clock,
             class: conn.class,
             bandwidth: conn.bandwidth,
@@ -781,12 +964,7 @@ impl Simulator {
             is_handoff: true,
         };
         self.metrics.record_offered(request.class, true);
-        let Some(target_station) = self.stations.get(&to) else {
-            self.metrics.record_blocked(request.class, true);
-            self.metrics.record_dropped(request.class);
-            self.users.remove(&connection_id);
-            return;
-        };
+        let target_station = &self.stations[to.index()];
         let fits = target_station.can_fit(request.bandwidth);
         let decision = if fits {
             controller.decide(&request, target_station)
@@ -794,8 +972,7 @@ impl Simulator {
             AdmissionDecision::reject(-1.0)
         };
         if decision.accept && fits {
-            let target_station = self.stations.get_mut(&to).expect("checked above");
-            target_station
+            self.stations[to.index()]
                 .admit(
                     connection_id,
                     request.class,
@@ -807,7 +984,7 @@ impl Simulator {
                 .expect("admission checked via can_fit");
             self.metrics
                 .record_accepted(request.class, request.bandwidth, true);
-            controller.on_admitted(&request, &self.stations[&to]);
+            controller.on_admitted(&request, &self.stations[to.index()]);
             // Departure is rescheduled in the new cell; the old departure
             // event will find the connection gone and become a no-op.
             self.queue.schedule(
@@ -815,15 +992,16 @@ impl Simulator {
                 EventKind::Departure {
                     cell: to,
                     connection_id,
+                    user: Some(slot),
                 },
             );
-            self.maybe_schedule_handoff(to, connection_id, conn.ends_at);
+            self.maybe_schedule_handoff(to, connection_id, slot, conn.ends_at);
         } else {
             // Failed handoff: the on-going call is dropped — the QoS
             // violation the paper's controllers are designed to avoid.
             self.metrics.record_blocked(request.class, true);
             self.metrics.record_dropped(request.class);
-            self.users.remove(&connection_id);
+            self.users.remove(slot);
         }
     }
 }
@@ -967,7 +1145,7 @@ mod tests {
             released: usize,
         }
         impl AdmissionController for Counting {
-            fn name(&self) -> &str {
+            fn name(&self) -> &'static str {
                 "counting"
             }
             fn decide(&mut self, _r: &AdmissionRequest, _s: &BaseStation) -> AdmissionDecision {
@@ -1059,6 +1237,73 @@ mod tests {
         assert!(out[0].accept && out[1].accept && out[3].accept);
         assert!(!out[2].accept);
         assert_eq!(out[2].score, -1.0);
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_a_fresh_simulator() {
+        // The sweep engine reuses one simulator per worker via `reset`;
+        // that is only sound if a reset simulator reproduces a fresh one
+        // exactly — across run modes, grid shapes and capacities.
+        let configs = [
+            SimConfig::paper_default().with_seed(11),
+            SimConfig::paper_default().with_seed(12).with_capacity(25),
+            {
+                let mut cfg = SimConfig::paper_default()
+                    .with_seed(13)
+                    .with_grid_radius(1)
+                    .with_cell_radius(300.0)
+                    .with_utilization_sampling(40.0);
+                cfg.traffic.mean_interarrival_s = 3.0;
+                cfg.traffic.mean_holding_s = 300.0;
+                cfg.traffic.min_speed_kmh = 40.0;
+                cfg
+            },
+            SimConfig::paper_default().with_seed(14),
+        ];
+        // One reused simulator, reset before every run...
+        let mut reused = Simulator::new(configs[0].clone());
+        for (i, cfg) in configs.iter().enumerate() {
+            reused.reset(cfg.clone());
+            let mut a = AlwaysAccept;
+            let reused_report = if cfg.grid_radius_cells > 0 {
+                reused.run_poisson(&mut a, 150)
+            } else {
+                reused.run_batch(&mut a, 80)
+            };
+            // ...must match a simulator built from scratch for this cell.
+            let mut fresh = Simulator::new(cfg.clone());
+            let mut b = AlwaysAccept;
+            let fresh_report = if cfg.grid_radius_cells > 0 {
+                fresh.run_poisson(&mut b, 150)
+            } else {
+                fresh.run_batch(&mut b, 80)
+            };
+            assert_eq!(reused_report, fresh_report, "config #{i} diverged");
+            assert_eq!(
+                reused.station(&CellId::origin()).unwrap().occupied(),
+                fresh.station(&CellId::origin()).unwrap().occupied(),
+                "station state after run #{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_processed_counts_poisson_loop_events() {
+        let mut cfg = SimConfig::paper_default().with_seed(15);
+        cfg.traffic.mean_interarrival_s = 10.0;
+        cfg.traffic.mean_holding_s = 60.0;
+        let mut sim = Simulator::new(cfg.clone());
+        let mut c = AlwaysAccept;
+        let report = sim.run_poisson(&mut c, 200);
+        // Every arrival is an event, every admitted call schedules a
+        // departure that eventually fires (single cell: no handoffs).
+        assert_eq!(
+            sim.events_processed(),
+            200 + report.accepted,
+            "events = arrivals + departures"
+        );
+        sim.reset(cfg);
+        assert_eq!(sim.events_processed(), 0, "reset restarts the counter");
     }
 
     #[test]

@@ -11,12 +11,17 @@
 //!
 //! The station itself never refuses an admission on policy grounds; that is
 //! the controller's job.  It only enforces the physical capacity limit.
+//!
+//! Active connections live in a dense `Vec` rather than a `HashMap`: a
+//! station carries at most `capacity / min_request` connections (≈ 40 for
+//! the paper's cell), so a linear scan over one cache line beats hashing,
+//! iteration order is deterministic by construction, and steady-state
+//! admit/release cycles reuse the vector's capacity instead of allocating.
 
 use crate::geometry::{CellId, Point};
 use crate::traffic::ServiceClass;
 use crate::{Bandwidth, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Errors returned by base-station bookkeeping operations.
@@ -65,7 +70,7 @@ impl fmt::Display for StationError {
 impl std::error::Error for StationError {}
 
 /// An admitted, on-going connection as tracked by a base station.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ActiveConnection {
     /// Connection id (same id space as [`crate::traffic::CallRequest::id`]).
     pub id: u64,
@@ -87,7 +92,7 @@ pub struct BaseStation {
     cell: CellId,
     position: Point,
     capacity: Bandwidth,
-    connections: HashMap<u64, ActiveConnection>,
+    connections: Vec<ActiveConnection>,
     rtc: Bandwidth,
     nrtc: Bandwidth,
     total_admitted: u64,
@@ -103,13 +108,28 @@ impl BaseStation {
             cell,
             position,
             capacity,
-            connections: HashMap::new(),
+            connections: Vec::new(),
             rtc: 0,
             nrtc: 0,
             total_admitted: 0,
             total_released: 0,
             total_dropped: 0,
         }
+    }
+
+    /// Reset the station for a fresh run with the given capacity: every
+    /// connection is dropped on the floor (no counters recorded) and all
+    /// cumulative totals are zeroed, while the connection storage keeps its
+    /// capacity — so a simulator reused across sweep cells pays no
+    /// per-cell allocation here.
+    pub fn reset_for_run(&mut self, capacity: Bandwidth) {
+        self.capacity = capacity;
+        self.connections.clear();
+        self.rtc = 0;
+        self.nrtc = 0;
+        self.total_admitted = 0;
+        self.total_released = 0;
+        self.total_dropped = 0;
     }
 
     /// The paper's single 40-BU base station at the origin.
@@ -182,15 +202,20 @@ impl BaseStation {
         self.connections.len()
     }
 
-    /// Iterator over the active connections (arbitrary order).
+    /// Iterator over the active connections (deterministic dense order:
+    /// admission order, modulo swap-removal on release).
     pub fn connections(&self) -> impl Iterator<Item = &ActiveConnection> {
-        self.connections.values()
+        self.connections.iter()
     }
 
     /// Look up an active connection.
     #[must_use]
     pub fn connection(&self, id: u64) -> Option<&ActiveConnection> {
-        self.connections.get(&id)
+        self.connections.iter().find(|c| c.id == id)
+    }
+
+    fn position_of(&self, id: u64) -> Option<usize> {
+        self.connections.iter().position(|c| c.id == id)
     }
 
     /// `true` if a request for `bandwidth` BU physically fits right now.
@@ -227,7 +252,7 @@ impl BaseStation {
         holding_time: SimTime,
         was_handoff: bool,
     ) -> Result<(), StationError> {
-        if self.connections.contains_key(&id) {
+        if self.connection(id).is_some() {
             return Err(StationError::DuplicateConnection { id });
         }
         if !self.can_fit(bandwidth) {
@@ -241,28 +266,30 @@ impl BaseStation {
         } else {
             self.nrtc += bandwidth;
         }
-        self.connections.insert(
+        self.connections.push(ActiveConnection {
             id,
-            ActiveConnection {
-                id,
-                class,
-                bandwidth,
-                admitted_at: now,
-                ends_at: now + holding_time.max(0.0),
-                was_handoff,
-            },
-        );
+            class,
+            bandwidth,
+            admitted_at: now,
+            ends_at: now + holding_time.max(0.0),
+            was_handoff,
+        });
         self.total_admitted += 1;
         Ok(())
     }
 
+    fn take(&mut self, id: u64) -> Result<ActiveConnection, StationError> {
+        let pos = self
+            .position_of(id)
+            .ok_or(StationError::UnknownConnection { id })?;
+        let conn = self.connections.swap_remove(pos);
+        self.subtract(&conn);
+        Ok(conn)
+    }
+
     /// Release a connection that completed normally, freeing its bandwidth.
     pub fn release(&mut self, id: u64) -> Result<ActiveConnection, StationError> {
-        let conn = self
-            .connections
-            .remove(&id)
-            .ok_or(StationError::UnknownConnection { id })?;
-        self.subtract(&conn);
+        let conn = self.take(id)?;
         self.total_released += 1;
         Ok(conn)
     }
@@ -271,11 +298,7 @@ impl BaseStation {
     /// tracked separately from normal completion because call dropping is
     /// the QoS violation the paper's controllers try to avoid.
     pub fn drop_connection(&mut self, id: u64) -> Result<ActiveConnection, StationError> {
-        let conn = self
-            .connections
-            .remove(&id)
-            .ok_or(StationError::UnknownConnection { id })?;
-        self.subtract(&conn);
+        let conn = self.take(id)?;
         self.total_dropped += 1;
         Ok(conn)
     }
@@ -283,30 +306,35 @@ impl BaseStation {
     /// Remove a connection that is handing off to another cell (neither a
     /// completion nor a drop from this station's point of view).
     pub fn transfer_out(&mut self, id: u64) -> Result<ActiveConnection, StationError> {
-        let conn = self
-            .connections
-            .remove(&id)
-            .ok_or(StationError::UnknownConnection { id })?;
-        self.subtract(&conn);
-        Ok(conn)
+        self.take(id)
+    }
+
+    /// Release every connection whose `ends_at` is at or before `now` into
+    /// `out` (cleared first), sorted by completion time.  Allocation-free
+    /// once `out` has warmed up to the working-set size.
+    pub fn release_expired_into(&mut self, now: SimTime, out: &mut Vec<ActiveConnection>) {
+        out.clear();
+        let mut i = 0;
+        while i < self.connections.len() {
+            if self.connections[i].ends_at <= now {
+                let conn = self.connections.swap_remove(i);
+                self.subtract(&conn);
+                self.total_released += 1;
+                out.push(conn);
+            } else {
+                i += 1;
+            }
+        }
+        out.sort_unstable_by(|a, b| a.ends_at.total_cmp(&b.ends_at));
     }
 
     /// Release every connection whose `ends_at` is at or before `now`;
-    /// returns them sorted by completion time.
+    /// returns them sorted by completion time.  The simulator's hot loop
+    /// uses [`BaseStation::release_expired_into`] with a reused scratch
+    /// buffer instead.
     pub fn release_expired(&mut self, now: SimTime) -> Vec<ActiveConnection> {
-        let expired: Vec<u64> = self
-            .connections
-            .values()
-            .filter(|c| c.ends_at <= now)
-            .map(|c| c.id)
-            .collect();
-        let mut out = Vec::with_capacity(expired.len());
-        for id in expired {
-            if let Ok(c) = self.release(id) {
-                out.push(c);
-            }
-        }
-        out.sort_by(|a, b| a.ends_at.total_cmp(&b.ends_at));
+        let mut out = Vec::new();
+        self.release_expired_into(now, &mut out);
         out
     }
 
@@ -467,6 +495,47 @@ mod tests {
         s.admit(1, ServiceClass::Text, 1, 10.0, -5.0, false)
             .unwrap();
         assert_eq!(s.connection(1).unwrap().ends_at, 10.0);
+    }
+
+    #[test]
+    fn reset_for_run_clears_state_and_keeps_storage() {
+        let mut s = station();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 60.0, false)
+            .unwrap();
+        s.admit(2, ServiceClass::Text, 1, 0.0, 60.0, false).unwrap();
+        s.release(2).unwrap();
+        let cap = s.connections.capacity();
+        s.reset_for_run(25);
+        assert_eq!(s.capacity(), 25);
+        assert_eq!(s.occupied(), 0);
+        assert_eq!(s.rtc(), 0);
+        assert_eq!(s.nrtc(), 0);
+        assert_eq!(s.active_connections(), 0);
+        assert_eq!(s.total_admitted(), 0);
+        assert_eq!(s.total_released(), 0);
+        assert_eq!(s.total_dropped(), 0);
+        assert_eq!(s.connections.capacity(), cap, "storage is kept for reuse");
+        // The station is immediately usable again.
+        s.admit(9, ServiceClass::Voice, 5, 1.0, 10.0, true).unwrap();
+        assert_eq!(s.occupied(), 5);
+    }
+
+    #[test]
+    fn release_expired_into_reuses_the_scratch_buffer() {
+        let mut s = station();
+        for i in 0..6 {
+            s.admit(i, ServiceClass::Text, 1, 0.0, 5.0 + i as f64, false)
+                .unwrap();
+        }
+        let mut scratch = Vec::new();
+        s.release_expired_into(8.0, &mut scratch);
+        assert_eq!(scratch.len(), 4);
+        assert!(scratch.windows(2).all(|w| w[0].ends_at <= w[1].ends_at));
+        let cap = scratch.capacity();
+        // A later, smaller expiry batch reuses the same storage.
+        s.release_expired_into(100.0, &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(scratch.capacity(), cap);
     }
 
     #[test]

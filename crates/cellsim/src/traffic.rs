@@ -165,7 +165,7 @@ impl Default for TrafficMix {
 }
 
 /// One call / connection request as offered to the admission controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CallRequest {
     /// Monotonically increasing identifier.
     pub id: u64,
@@ -346,9 +346,31 @@ impl TrafficGenerator {
         (0..n).map(|_| self.make_request(0.0)).collect()
     }
 
+    /// [`TrafficGenerator::generate_batch`] into a reused buffer (`out` is
+    /// cleared first): a warmed-up buffer makes repeated runs
+    /// allocation-free.
+    pub fn generate_batch_into(&mut self, n: usize, out: &mut Vec<CallRequest>) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.make_request(0.0));
+        }
+    }
+
     /// Generate `n` requests with Poisson arrivals.
     pub fn generate_poisson(&mut self, n: usize) -> Vec<CallRequest> {
         (0..n).map(|_| self.next_request()).collect()
+    }
+
+    /// [`TrafficGenerator::generate_poisson`] into a reused buffer (`out`
+    /// is cleared first).
+    pub fn generate_poisson_into(&mut self, n: usize, out: &mut Vec<CallRequest>) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            let req = self.next_request();
+            out.push(req);
+        }
     }
 
     fn make_request(&mut self, at: SimTime) -> CallRequest {

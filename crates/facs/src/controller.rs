@@ -144,7 +144,7 @@ impl FacsController {
 }
 
 impl AdmissionController for FacsController {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         if self.lut.is_some() {
             "facs-lut"
         } else {
@@ -334,7 +334,7 @@ impl FacsPController {
 }
 
 impl AdmissionController for FacsPController {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         if self.lut.is_some() {
             "facs-p-lut"
         } else {

@@ -84,7 +84,7 @@ impl Default for SccAdmission {
 }
 
 impl AdmissionController for SccAdmission {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "scc"
     }
 

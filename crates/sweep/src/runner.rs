@@ -81,14 +81,27 @@ impl SweepRunner {
         let next_cell = AtomicUsize::new(0);
         let workers = self.threads.min(total.max(1));
 
-        let run_cell = |index: usize| {
+        // Each worker owns ONE simulator and re-arms it per cell with
+        // `Simulator::reset` — stations, slabs, the event heap and the
+        // arrival buffers all get reused, so a worker pays the engine's
+        // allocation cost once instead of once per cell.  `reset` is
+        // bit-identical to building a fresh simulator (asserted by the
+        // engine's tests), so this is purely a throughput change.
+        let run_cell = |index: usize, sim_slot: &mut Option<Simulator>| {
             let rep = index % n_reps;
             let point = (index / n_reps) % n_points;
             let controller_idx = index / (n_reps * n_points);
             let load = spec.load_points[point];
             let controller_spec = &spec.controllers[controller_idx];
             let mut controller = controller_spec.build();
-            let mut sim = Simulator::new(spec.sim_config(controller_spec, point, rep));
+            let config = spec.sim_config(controller_spec, point, rep);
+            let sim = match sim_slot {
+                Some(sim) => {
+                    sim.reset(config);
+                    sim
+                }
+                None => sim_slot.insert(Simulator::new(config)),
+            };
             let report = match spec.load_mode {
                 LoadMode::Batch => sim.run_batch(controller.as_mut(), load),
                 LoadMode::RequestsPerWindow { .. } | LoadMode::TotalRequests => {
@@ -103,13 +116,16 @@ impl SweepRunner {
             }
         };
 
-        let worker_loop = || loop {
-            let index = next_cell.fetch_add(1, Ordering::Relaxed);
-            if index >= total {
-                break;
+        let worker_loop = || {
+            let mut sim: Option<Simulator> = None;
+            loop {
+                let index = next_cell.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let outcome = run_cell(index, &mut sim);
+                cells.lock().expect("cell store poisoned")[index] = Some(outcome);
             }
-            let outcome = run_cell(index);
-            cells.lock().expect("cell store poisoned")[index] = Some(outcome);
         };
 
         if workers <= 1 {

@@ -99,7 +99,7 @@ fn custom_fuzzy_controller_plugs_into_the_simulator() {
         engine: MamdaniEngine,
     }
     impl AdmissionController for TinyFuzzyCac {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "tiny-fuzzy"
         }
         fn decide(
