@@ -16,7 +16,8 @@
 //! | Fig. 9 | FACS-P at 0/30/50/60/90° | user angle fixed per series |
 //! | Fig. 10 | FACS-P vs. FACS | shared arrival sequences, on-going (handoff) traffic |
 
-use cellsim::sim::{AdmissionController, SimConfig, Simulator};
+use cellsim::shard::BoxedController;
+use cellsim::sim::{SimConfig, Simulator};
 use cellsim::traffic::TrafficConfig;
 use cellsim::MobilityModel;
 use serde::{Deserialize, Serialize};
@@ -60,7 +61,7 @@ impl ControllerKind {
 
     /// Instantiate the controller.
     #[must_use]
-    pub fn build(&self) -> Box<dyn AdmissionController> {
+    pub fn build(&self) -> BoxedController {
         self.spec().build()
     }
 }

@@ -10,6 +10,7 @@
 //! PRs.
 
 use cellsim::geometry::CellId;
+use cellsim::shard::{ShardConfig, ShardedSimulator};
 use cellsim::sim::{
     AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, SimConfig, Simulator,
 };
@@ -18,7 +19,7 @@ use cellsim::traffic::ServiceClass;
 use facs::{FacsController, FacsPController, Flc1, Flc2};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use sweep::{builtin, SweepRunner};
+use sweep::{builtin, host_parallelism, SweepRunner};
 
 /// One timed case.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,11 +41,32 @@ pub struct SweepThroughput {
     pub cells_per_sec: f64,
 }
 
+/// Metro-scale sharded-engine throughput at one thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardThroughput {
+    /// Spatial shards the grid was partitioned into.
+    pub shards: usize,
+    /// Worker threads driving the shards.
+    pub threads: usize,
+    /// Total events per second through the sharded engine (per-shard
+    /// three-stream events plus barrier-merge replays).
+    pub events_per_sec: f64,
+    /// Peak simultaneously-active connections across the whole metro —
+    /// identical at every thread count by the determinism contract.
+    pub peak_concurrent_users: u64,
+}
+
 /// The serialisable perf baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
     /// Whether the quick (CI) iteration budget was used.
     pub quick: bool,
+    /// `std::thread::available_parallelism` of the measuring host.
+    /// Thread-scaling gates are only meaningful relative to this: a
+    /// 1-core container cannot show parallel speedup no matter how good
+    /// the engine is, so [`PerfReport::scaling_regressions`] conditions
+    /// its ≥1.6x demand on the host actually having ≥4 cores.
+    pub host_parallelism: usize,
     /// All timed cases.
     pub cases: Vec<PerfCase>,
     /// Headline number: interpreted vs compiled speedup of the full
@@ -61,6 +83,9 @@ pub struct PerfReport {
     /// End-to-end sweep throughput of the paper-default scenario at
     /// 1/2/4 worker threads.
     pub sweep_cells_per_sec: Vec<SweepThroughput>,
+    /// Metro-scale sharded-engine throughput at 1/2/4 worker threads
+    /// (2107 cells; ≥1M peak concurrent users in the full run).
+    pub metro: Vec<ShardThroughput>,
 }
 
 impl PerfReport {
@@ -76,17 +101,88 @@ impl PerfReport {
         serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
     }
 
+    /// Thread-scaling violations of this report, as human-readable
+    /// descriptions; empty when the scaling story is healthy.
+    ///
+    /// Two tiers, both keyed on the *measuring host's* core count:
+    ///
+    /// * always: adding threads must never cost throughput — the
+    ///   4-thread sweep and metro numbers must stay within 10 % of the
+    ///   1-thread ones (the slack absorbs timer noise on 1-core hosts,
+    ///   where 4 capped workers degenerate to the sequential path);
+    /// * on hosts with ≥4 cores: the metro sharded engine must scale at
+    ///   least [`Self::REQUIRED_METRO_SCALING`]x from 1 to 4 threads.
+    #[must_use]
+    pub fn scaling_regressions(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let pair = |entries: &[(usize, f64)]| -> Option<(f64, f64)> {
+            let one = entries.iter().find(|(t, _)| *t == 1)?.1;
+            let four = entries.iter().find(|(t, _)| *t == 4)?.1;
+            Some((one, four))
+        };
+
+        let sweep: Vec<(usize, f64)> = self
+            .sweep_cells_per_sec
+            .iter()
+            .map(|s| (s.threads, s.cells_per_sec))
+            .collect();
+        match pair(&sweep) {
+            Some((one, four)) => {
+                if four < one * Self::NO_SLOWDOWN_FACTOR {
+                    problems.push(format!(
+                        "sweep throughput regresses with threads: {four:.0} cells/s at 4 \
+                         threads vs {one:.0} at 1"
+                    ));
+                }
+            }
+            None => problems.push("report lacks 1- and 4-thread sweep entries".to_string()),
+        }
+
+        let metro: Vec<(usize, f64)> = self
+            .metro
+            .iter()
+            .map(|m| (m.threads, m.events_per_sec))
+            .collect();
+        match pair(&metro) {
+            Some((one, four)) => {
+                if four < one * Self::NO_SLOWDOWN_FACTOR {
+                    problems.push(format!(
+                        "metro shard throughput regresses with threads: {four:.0} events/s \
+                         at 4 threads vs {one:.0} at 1"
+                    ));
+                }
+                if self.host_parallelism >= 4 && four < one * Self::REQUIRED_METRO_SCALING {
+                    problems.push(format!(
+                        "metro shard scaling below {:.1}x on a {}-core host: {:.2}x \
+                         ({four:.0} events/s at 4 threads vs {one:.0} at 1)",
+                        Self::REQUIRED_METRO_SCALING,
+                        self.host_parallelism,
+                        four / one,
+                    ));
+                }
+            }
+            None => problems.push("report lacks 1- and 4-thread metro entries".to_string()),
+        }
+
+        problems
+    }
+
+    /// 4-thread throughput may not drop below this fraction of 1-thread.
+    pub const NO_SLOWDOWN_FACTOR: f64 = 0.9;
+    /// Required metro 1→4-thread speedup on hosts with ≥4 cores.
+    pub const REQUIRED_METRO_SCALING: f64 = 1.6;
+
     /// Plain-text table of the report.
     #[must_use]
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<44} {:>14} {:>10}\n",
+            "{:<58} {:>14} {:>10}\n",
             "case", "ns/iter", "iters"
         ));
         for c in &self.cases {
             out.push_str(&format!(
-                "{:<44} {:>14.1} {:>10}\n",
+                "{:<58} {:>14.1} {:>10}\n",
                 c.name, c.ns_per_iter, c.iters
             ));
         }
@@ -110,74 +206,355 @@ impl PerfReport {
                 s.cells_per_sec
             ));
         }
+        for m in &self.metro {
+            out.push_str(&format!(
+                "Metro shard throughput ({} shards, {} thread{}):    {:.2}M events/s, \
+                 peak {} concurrent users\n",
+                m.shards,
+                m.threads,
+                if m.threads == 1 { "" } else { "s" },
+                m.events_per_sec / 1e6,
+                m.peak_concurrent_users
+            ));
+        }
+        out.push_str(&format!(
+            "Measured on a host with {} core(s)\n",
+            self.host_parallelism
+        ));
         out
     }
 }
 
-/// Time `routine` over `iters` iterations (after one warm-up call).
-fn time_case(name: &str, iters: u64, mut routine: impl FnMut() -> f64) -> PerfCase {
-    let mut sink = routine();
-    let start = Instant::now();
-    for _ in 0..iters {
-        sink += std::hint::black_box(routine());
+/// One case that slowed down past the comparison tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Case name.
+    pub name: String,
+    /// Baseline nanoseconds per iteration.
+    pub baseline_ns: f64,
+    /// Current nanoseconds per iteration.
+    pub current_ns: f64,
+    /// `current / baseline`, unnormalised.
+    pub raw_ratio: f64,
+    /// `current / (baseline * scale)` — how far past the
+    /// machine-normalised baseline the case landed.
+    pub normalised_ratio: f64,
+}
+
+/// Compare a fresh perf run against a committed baseline, normalising
+/// away machine speed.
+///
+/// CI runners and the machines baselines were recorded on differ in
+/// absolute speed, so raw `ns_per_iter` ratios alone would flag
+/// everything (or nothing).  The per-case ratios `current/baseline` are
+/// normalised by their median — the typical machine-speed factor between
+/// the two runs — and a case counts as regressed only when it is more
+/// than `tolerance` (e.g. `0.3` = 30 %) slower by **both** measures:
+///
+/// * the normalised ratio, so a uniformly slower machine (every ratio
+///   and the median shift together) flags nothing, while a genuine
+///   single-case regression (moves its own ratio, barely shifts the
+///   median) stands out; and
+/// * the raw ratio, so a *non-uniformly faster* current run cannot
+///   manufacture regressions — after the `--check` retry loop min-merges
+///   attempts, most cases drop well below the baseline while cases
+///   already at their floor stay flat, and demanding raw evidence keeps
+///   those flat cases (measured at baseline speed!) from being flagged
+///   merely for not improving as much as the median did.
+///
+/// A real regression is slower by both measures on a comparable machine;
+/// what the dual condition deliberately forgives is a regression masked
+/// by a much faster machine — the machine-invariant speedup-retention
+/// and scaling gates in the `perf` bin cover that quadrant.
+///
+/// Cases present only in one report are skipped: renames and new cases
+/// must not fail CI retroactively.  Returns regressions sorted worst
+/// first.
+#[must_use]
+pub fn compare_reports(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut ratios: Vec<(usize, f64)> = Vec::new();
+    for (i, case) in current.cases.iter().enumerate() {
+        if let Some(base) = baseline.case(&case.name) {
+            if base.ns_per_iter > 0.0 && case.ns_per_iter.is_finite() {
+                ratios.push((i, case.ns_per_iter / base.ns_per_iter));
+            }
+        }
     }
-    let elapsed = start.elapsed();
+    if ratios.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = ratios.iter().map(|&(_, r)| r).collect();
+    sorted.sort_by(f64::total_cmp);
+    let scale = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+
+    let mut regressions: Vec<Regression> = ratios
+        .into_iter()
+        .filter_map(|(i, ratio)| {
+            let normalised = ratio / scale;
+            (normalised > 1.0 + tolerance && ratio > 1.0 + tolerance).then(|| {
+                let case = &current.cases[i];
+                Regression {
+                    name: case.name.clone(),
+                    baseline_ns: baseline
+                        .case(&case.name)
+                        .expect("matched above")
+                        .ns_per_iter,
+                    current_ns: case.ns_per_iter,
+                    raw_ratio: ratio,
+                    normalised_ratio: normalised,
+                }
+            })
+        })
+        .collect();
+    regressions.sort_by(|a, b| b.normalised_ratio.total_cmp(&a.normalised_ratio));
+    regressions
+}
+
+/// Merge two runs of the same suite into the best-observed report:
+/// per-case minimum `ns_per_iter`, per-thread-count maximum throughput,
+/// and headline speedups recomputed from the merged cases.
+///
+/// This backs the `--check` retry loop in the `perf` bin.  Sustained CPU
+/// contention on a shared host can slow one case's entire measurement
+/// window in a single run, and no within-run estimator can see through
+/// that — but a genuine regression slows the case in *every* run, so the
+/// min across independent attempts separates transient noise from real
+/// slowdowns.
+#[must_use]
+pub fn merge_best(a: &PerfReport, b: &PerfReport) -> PerfReport {
+    let mut cases = a.cases.clone();
+    for case in &b.cases {
+        match cases.iter_mut().find(|c| c.name == case.name) {
+            Some(existing) => {
+                if case.ns_per_iter < existing.ns_per_iter {
+                    *existing = case.clone();
+                }
+            }
+            None => cases.push(case.clone()),
+        }
+    }
+
+    let ratio = |num: &str, den: &str, fallback: f64| -> f64 {
+        match (
+            cases.iter().find(|c| c.name == num),
+            cases.iter().find(|c| c.name == den),
+        ) {
+            (Some(n), Some(d)) if d.ns_per_iter > 0.0 => n.ns_per_iter / d.ns_per_iter,
+            _ => fallback,
+        }
+    };
+    let facs_decision_speedup = ratio(
+        "cascade/facs-p interpreted (flc1+flc2)",
+        "cascade/facs-p compiled (flc1+flc2)",
+        a.facs_decision_speedup.max(b.facs_decision_speedup),
+    );
+    let facs_decision_speedup_lut = ratio(
+        "cascade/facs-p interpreted (flc1+flc2)",
+        "cascade/facs-p lut (flc1+lut)",
+        a.facs_decision_speedup_lut.max(b.facs_decision_speedup_lut),
+    );
+
+    let mut sweep_cells_per_sec = a.sweep_cells_per_sec.clone();
+    for entry in &b.sweep_cells_per_sec {
+        match sweep_cells_per_sec
+            .iter_mut()
+            .find(|s| s.threads == entry.threads)
+        {
+            Some(existing) => {
+                existing.cells_per_sec = existing.cells_per_sec.max(entry.cells_per_sec);
+            }
+            None => sweep_cells_per_sec.push(*entry),
+        }
+    }
+    let mut metro = a.metro.clone();
+    for entry in &b.metro {
+        match metro
+            .iter_mut()
+            .find(|m| m.threads == entry.threads && m.shards == entry.shards)
+        {
+            Some(existing) => {
+                existing.events_per_sec = existing.events_per_sec.max(entry.events_per_sec);
+            }
+            None => metro.push(*entry),
+        }
+    }
+
+    PerfReport {
+        quick: a.quick && b.quick,
+        host_parallelism: a.host_parallelism.max(b.host_parallelism),
+        cases,
+        facs_decision_speedup,
+        facs_decision_speedup_lut,
+        sim_events_per_sec: a.sim_events_per_sec.max(b.sim_events_per_sec),
+        sweep_cells_per_sec,
+        metro,
+    }
+}
+
+/// Time `routine` over `iters` iterations (after one warm-up call),
+/// split into fixed-size batches and reporting the *fastest* batch.
+///
+/// The minimum is the standard noise-robust location estimator for
+/// microbenchmarks: scheduler preemption, frequency scaling and cache
+/// pollution only ever make a batch slower, so the fastest batch is the
+/// closest observation of the code's true cost — means on a shared
+/// 1-core container were measured swinging 25 %+ between otherwise
+/// identical runs, which is useless under a 30 % regression budget.
+///
+/// The batch size is a constant [`BATCH_ITERS`] rather than a fraction
+/// of `iters`: quick and full mode must measure the *same* quantity
+/// ("mean of the cleanest short window") for `--check` comparisons to
+/// be apples-to-apples.  With `iters`-proportional batches the full
+/// baseline's multi-millisecond windows almost always absorbed a
+/// preemption slice while quick's sub-millisecond windows often landed
+/// clean, skewing the two modes by different per-case amounts.  A full
+/// run simply gets more batches, i.e. more chances at a clean window —
+/// a small uniform bias the median normalisation in [`compare_reports`]
+/// absorbs.
+fn time_case(name: &str, iters: u64, mut routine: impl FnMut() -> f64) -> PerfCase {
+    const BATCH_ITERS: u64 = 250;
+    let mut sink = routine();
+    let batch_iters = BATCH_ITERS.min(iters.max(1));
+    let mut best_ns = f64::INFINITY;
+    let mut timed = 0u64;
+    while timed < iters {
+        let start = Instant::now();
+        for _ in 0..batch_iters {
+            sink += std::hint::black_box(routine());
+        }
+        let batch_ns = start.elapsed().as_nanos() as f64 / batch_iters as f64;
+        best_ns = best_ns.min(batch_ns);
+        timed += batch_iters;
+    }
     std::hint::black_box(sink);
     PerfCase {
         name: name.to_string(),
-        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
-        iters,
+        ns_per_iter: best_ns,
+        iters: timed,
     }
 }
 
 /// Time whole `run_poisson` simulations on the paper-default
-/// configuration, reporting nanoseconds *per processed event* (so
-/// `1e9 / ns_per_iter` is the engine's events-per-second throughput).
-/// One warm-up run sizes every reused buffer; the timed runs then reuse
-/// the same simulator via `reset`, exactly like a sweep worker.
-fn time_sim_events(name: &str, controller: &mut dyn AdmissionController, quick: bool) -> PerfCase {
+/// configuration, reporting nanoseconds *per processed event* of the
+/// fastest run (so `1e9 / ns_per_iter` is the engine's events-per-second
+/// throughput).  One warm-up run sizes every reused buffer; the timed
+/// runs then reuse the same simulator via `reset`, exactly like a sweep
+/// worker.  The request count is part of the case name: quick and full
+/// mode time different workloads, and [`compare_reports`] must never
+/// compare a 4k-request run against a 20k-request baseline.
+fn time_sim_events(label: &str, controller: &mut dyn AdmissionController, quick: bool) -> PerfCase {
     let requests = if quick { 4_000 } else { 20_000 };
     let runs = if quick { 3 } else { 5 };
     let config = SimConfig::paper_default().with_seed(0xBEEF);
     let mut sim = Simulator::new(config.clone());
     std::hint::black_box(sim.run_poisson(controller, requests));
     let mut events = 0u64;
-    let start = Instant::now();
+    let mut best_ns = f64::INFINITY;
     for _ in 0..runs {
         sim.reset(config.clone());
+        let start = Instant::now();
         std::hint::black_box(sim.run_poisson(controller, requests));
+        let elapsed = start.elapsed();
         events += sim.events_processed();
+        best_ns = best_ns.min(elapsed.as_nanos() as f64 / sim.events_processed() as f64);
     }
-    let elapsed = start.elapsed();
     PerfCase {
-        name: name.to_string(),
-        ns_per_iter: elapsed.as_nanos() as f64 / events as f64,
+        name: format!("sim/paper-default poisson events ({label}, {requests} req)"),
+        ns_per_iter: best_ns,
         iters: events,
     }
 }
 
 /// Time full paper-default sweeps at one worker count, reporting
-/// nanoseconds *per finished cell* (so `1e9 / ns_per_iter` is cells per
-/// second).
+/// nanoseconds *per finished cell* of the fastest run (so
+/// `1e9 / ns_per_iter` is cells per second).  Quick mode sweeps the
+/// trimmed `spec.quick()` workload, so its cases carry a `, quick`
+/// suffix and are never compared against full-mode baselines.
 fn time_sweep_cells(threads: usize, quick: bool) -> PerfCase {
     let spec = builtin("paper-default").expect("paper-default is built in");
     let spec = if quick { spec.quick() } else { spec };
     let cells_per_run =
         (spec.controllers.len() * spec.load_points.len() * spec.replications) as u64;
-    let runs = if quick { 3 } else { 1 };
+    let runs = 3;
     let runner = SweepRunner::with_threads(threads);
     std::hint::black_box(runner.run(&spec).expect("built-in spec is valid"));
-    let start = Instant::now();
+    let mut best_ns = f64::INFINITY;
     for _ in 0..runs {
+        let start = Instant::now();
         std::hint::black_box(runner.run(&spec).expect("built-in spec is valid"));
+        let run_ns = start.elapsed().as_nanos() as f64 / cells_per_run as f64;
+        best_ns = best_ns.min(run_ns);
     }
-    let elapsed = start.elapsed();
-    let cells = cells_per_run * runs;
     PerfCase {
-        name: format!("sweep/paper-default cells ({threads} thread)"),
-        ns_per_iter: elapsed.as_nanos() as f64 / cells as f64,
-        iters: cells,
+        name: format!(
+            "sweep/paper-default cells ({threads} thread{})",
+            if quick { ", quick" } else { "" }
+        ),
+        ns_per_iter: best_ns,
+        iters: cells_per_run * runs,
     }
+}
+
+/// Time one metro-scale run of the sharded engine at a given worker
+/// thread count, reporting nanoseconds *per processed event* and the peak
+/// concurrent population.
+///
+/// The shard count is fixed at 16 for every thread count so the partition
+/// (and, by the determinism contract, every counter in the report) is
+/// identical across the 1/2/4-thread headline entries — only wall clock
+/// may differ.  Quick mode runs the first metro load point (200k
+/// requests, ~190k peak users); the full baseline runs the saturating top
+/// load point, where the metro holds over a million concurrent users.
+fn time_metro_events(threads: usize, quick: bool) -> (PerfCase, ShardThroughput) {
+    const SHARDS: usize = 16;
+    let spec = builtin("metro").expect("metro is built in");
+    // The guard-channel threshold controller: capacity-relative (the
+    // paper's absolute-BU controllers are mistuned at 2000 BU) and still
+    // exercising a real reject path, unlike always-accept.
+    let controller = spec.controllers[1];
+    let load_index = if quick { 0 } else { spec.load_points.len() - 1 };
+    let requests = spec.load_points[load_index];
+    let config = spec.sim_config(&controller, load_index, 0);
+    // Two timed runs, keeping the faster: a single multi-second sample is
+    // one sustained-contention window away from recording a 20 % dent in
+    // the committed headline throughput.
+    let runs = 2;
+    let mut events = 0u64;
+    let mut peak = 0u64;
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..runs {
+        let mut sim = ShardedSimulator::new(
+            config.clone(),
+            ShardConfig::new(SHARDS).with_threads(threads),
+        );
+        let mut factory = || controller.build();
+        let start = Instant::now();
+        std::hint::black_box(sim.run_poisson(&mut factory, requests));
+        let elapsed = start.elapsed();
+        events = sim.events_processed();
+        peak = sim.peak_concurrent_users();
+        best_ns = best_ns.min(elapsed.as_nanos() as f64 / events as f64);
+    }
+    let case = PerfCase {
+        name: format!("shard/metro events ({SHARDS} shards, {threads} thread, {requests} req)"),
+        ns_per_iter: best_ns,
+        iters: events * runs,
+    };
+    let throughput = ShardThroughput {
+        shards: SHARDS,
+        threads,
+        events_per_sec: 1e9 / best_ns,
+        peak_concurrent_users: peak,
+    };
+    (case, throughput)
 }
 
 fn probe_request(class: ServiceClass, speed: f64, angle: f64) -> AdmissionRequest {
@@ -196,10 +573,24 @@ fn probe_request(class: ServiceClass, speed: f64, angle: f64) -> AdmissionReques
 }
 
 /// Run the whole suite.  `quick` trims the iteration budget for CI smoke
-/// runs; case names and structure are identical in both modes.
+/// runs.  Where quick mode times a genuinely different workload (sim
+/// request count, sweep spec, metro load point) the workload is part of
+/// the case name, so [`compare_reports`] between a quick run and a full
+/// baseline silently skips those cases instead of mis-comparing them —
+/// only the pure microbenchmarks (identical per-iteration work in both
+/// modes) share names across modes.
 #[must_use]
 pub fn run(quick: bool) -> PerfReport {
-    let iters: u64 = if quick { 2_000 } else { 50_000 };
+    // The microbenchmarks keep the full iteration budget even in quick
+    // mode: they cost ~2 s total, and an identical budget means quick and
+    // full runs measure matched cases identically (same batch count, same
+    // min-of-batches sampling depth) — essential for the `--check`
+    // comparison, where a shallower quick estimate would read as a
+    // regression.  Quick mode trims only the expensive end-to-end
+    // workloads (sim request count, sweep spec, metro load point), whose
+    // cases carry the workload in their names and are never compared
+    // cross-mode.
+    let iters: u64 = 50_000;
     let mut cases = Vec::new();
 
     // --- fuzzy layer: one FLC1 inference, each execution model ----------
@@ -339,15 +730,11 @@ pub fn run(quick: bool) -> PerfReport {
     cases.push(lut_cascade);
 
     // --- whole-simulation throughput: events/sec through run_poisson -----
-    let engine_case = time_sim_events(
-        "sim/paper-default poisson events (always-accept)",
-        &mut AlwaysAccept,
-        quick,
-    );
+    let engine_case = time_sim_events("always-accept", &mut AlwaysAccept, quick);
     let sim_events_per_sec = 1e9 / engine_case.ns_per_iter;
     cases.push(engine_case);
     cases.push(time_sim_events(
-        "sim/paper-default poisson events (facs-p-lut)",
+        "facs-p-lut",
         &mut FacsPController::paper_default_lut(),
         quick,
     ));
@@ -363,13 +750,23 @@ pub fn run(quick: bool) -> PerfReport {
         cases.push(case);
     }
 
+    // --- metro-scale sharded engine at 1/2/4 workers ---------------------
+    let mut metro = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let (case, throughput) = time_metro_events(threads, quick);
+        metro.push(throughput);
+        cases.push(case);
+    }
+
     PerfReport {
         quick,
+        host_parallelism: host_parallelism(),
         cases,
         facs_decision_speedup,
         facs_decision_speedup_lut,
         sim_events_per_sec,
         sweep_cells_per_sec,
+        metro,
     }
 }
 
@@ -393,16 +790,25 @@ mod tests {
         assert!(report.case("cascade/facs-p compiled (flc1+flc2)").is_some());
         assert!(report.facs_decision_speedup > 0.0);
         assert!(report.facs_decision_speedup_lut > 0.0);
-        // The end-to-end cases the CI perf gate requires.
+        // The end-to-end cases the CI perf gate requires.  Their names
+        // encode the quick-mode workload so `--check` never compares them
+        // against the full-mode baseline entries.
         assert!(report
-            .case("sim/paper-default poisson events (always-accept)")
+            .case("sim/paper-default poisson events (always-accept, 4000 req)")
             .is_some());
         assert!(report
-            .case("sim/paper-default poisson events (facs-p-lut)")
+            .case("sim/paper-default poisson events (facs-p-lut, 4000 req)")
             .is_some());
         for threads in [1, 2, 4] {
             assert!(report
-                .case(&format!("sweep/paper-default cells ({threads} thread)"))
+                .case(&format!(
+                    "sweep/paper-default cells ({threads} thread, quick)"
+                ))
+                .is_some());
+            assert!(report
+                .case(&format!(
+                    "shard/metro events (16 shards, {threads} thread, 200000 req)"
+                ))
                 .is_some());
         }
         assert!(report.sim_events_per_sec.is_finite() && report.sim_events_per_sec > 0.0);
@@ -410,6 +816,18 @@ mod tests {
         for s in &report.sweep_cells_per_sec {
             assert!(s.cells_per_sec.is_finite() && s.cells_per_sec > 0.0);
         }
+        assert_eq!(report.metro.len(), 3);
+        for m in &report.metro {
+            assert!(m.events_per_sec.is_finite() && m.events_per_sec > 0.0);
+            // Even the quick load point holds a six-figure population.
+            assert!(m.peak_concurrent_users > 100_000);
+        }
+        // Thread count must never change the simulated outcome.
+        assert!(report
+            .metro
+            .windows(2)
+            .all(|w| w[0].peak_concurrent_users == w[1].peak_concurrent_users));
+        assert!(report.host_parallelism >= 1);
     }
 
     #[test]
@@ -420,5 +838,164 @@ mod tests {
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(!report.render_table().is_empty());
+    }
+
+    /// A synthetic report with the given `(name, ns_per_iter)` cases and
+    /// healthy scaling entries.
+    fn synthetic(cases: &[(&str, f64)]) -> PerfReport {
+        PerfReport {
+            quick: true,
+            host_parallelism: 8,
+            cases: cases
+                .iter()
+                .map(|(name, ns)| PerfCase {
+                    name: (*name).to_string(),
+                    ns_per_iter: *ns,
+                    iters: 100,
+                })
+                .collect(),
+            facs_decision_speedup: 10.0,
+            facs_decision_speedup_lut: 50.0,
+            sim_events_per_sec: 1e6,
+            sweep_cells_per_sec: vec![
+                SweepThroughput {
+                    threads: 1,
+                    cells_per_sec: 1000.0,
+                },
+                SweepThroughput {
+                    threads: 4,
+                    cells_per_sec: 3200.0,
+                },
+            ],
+            metro: vec![
+                ShardThroughput {
+                    shards: 16,
+                    threads: 1,
+                    events_per_sec: 1e6,
+                    peak_concurrent_users: 1_200_000,
+                },
+                ShardThroughput {
+                    shards: 16,
+                    threads: 4,
+                    events_per_sec: 2e6,
+                    peak_concurrent_users: 1_200_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn comparison_ignores_uniform_machine_speed_differences() {
+        let baseline = synthetic(&[("a", 100.0), ("b", 200.0), ("c", 400.0), ("d", 800.0)]);
+        // Everything exactly 3x slower: a slower machine, not a regression.
+        let current = synthetic(&[("a", 300.0), ("b", 600.0), ("c", 1200.0), ("d", 2400.0)]);
+        assert!(compare_reports(&current, &baseline, 0.3).is_empty());
+    }
+
+    #[test]
+    fn comparison_flags_a_single_genuine_regression() {
+        let baseline = synthetic(&[("a", 100.0), ("b", 200.0), ("c", 400.0), ("d", 800.0)]);
+        // Machine is 2x slower overall, but `c` alone regressed 4x.
+        let current = synthetic(&[("a", 200.0), ("b", 400.0), ("c", 1600.0), ("d", 1600.0)]);
+        let regressions = compare_reports(&current, &baseline, 0.3);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "c");
+        assert!(regressions[0].normalised_ratio > 1.3);
+    }
+
+    #[test]
+    fn comparison_requires_raw_evidence_too() {
+        let baseline = synthetic(&[("a", 100.0), ("b", 200.0), ("c", 400.0), ("d", 800.0)]);
+        // A min-merged retry run: most cases found much cleaner windows
+        // (40 % below baseline) while `d` was already at its floor.  `d`
+        // towers over the shrunken median, but at baseline speed in
+        // absolute terms it is no regression.
+        let current = synthetic(&[("a", 60.0), ("b", 120.0), ("c", 240.0), ("d", 800.0)]);
+        assert!(compare_reports(&current, &baseline, 0.3).is_empty());
+        // Whereas slow by both measures is flagged even in that skew.
+        let regressed = synthetic(&[("a", 60.0), ("b", 120.0), ("c", 240.0), ("d", 1200.0)]);
+        let regressions = compare_reports(&regressed, &baseline, 0.3);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "d");
+        assert!(regressions[0].raw_ratio > 1.3);
+        assert!(regressions[0].normalised_ratio > 1.3);
+    }
+
+    #[test]
+    fn comparison_skips_renamed_and_new_cases() {
+        let baseline = synthetic(&[("a", 100.0), ("gone", 50.0)]);
+        let current = synthetic(&[("a", 100.0), ("new", 9999.0)]);
+        assert!(compare_reports(&current, &baseline, 0.3).is_empty());
+        assert!(compare_reports(&baseline, &baseline, 0.3).is_empty());
+    }
+
+    #[test]
+    fn scaling_gate_passes_healthy_reports_and_catches_regressions() {
+        let healthy = synthetic(&[("a", 100.0)]);
+        assert!(healthy.scaling_regressions().is_empty());
+
+        // 4 threads slower than 1: always a failure, any host.
+        let mut inverted = synthetic(&[("a", 100.0)]);
+        inverted.metro[1].events_per_sec = 0.5e6;
+        inverted.host_parallelism = 1;
+        let problems = inverted.scaling_regressions();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("metro"));
+
+        // Flat scaling: fine on a 1-core host, a failure on a 4-core one.
+        let mut flat = synthetic(&[("a", 100.0)]);
+        flat.metro[1].events_per_sec = 1e6;
+        flat.host_parallelism = 1;
+        assert!(flat.scaling_regressions().is_empty());
+        flat.host_parallelism = 4;
+        let problems = flat.scaling_regressions();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("1.6"));
+
+        // Missing entries are themselves a failure.
+        let mut missing = synthetic(&[("a", 100.0)]);
+        missing.metro.clear();
+        assert!(!missing.scaling_regressions().is_empty());
+    }
+
+    #[test]
+    fn merge_best_keeps_the_fastest_observation_of_every_metric() {
+        let mut first = synthetic(&[("a", 100.0), ("b", 500.0), ("only-first", 7.0)]);
+        first.sim_events_per_sec = 1e6;
+        let mut second = synthetic(&[("a", 300.0), ("b", 250.0), ("only-second", 9.0)]);
+        second.sim_events_per_sec = 2e6;
+        second.sweep_cells_per_sec[1].cells_per_sec = 4000.0;
+        second.metro[0].events_per_sec = 1.5e6;
+
+        let merged = merge_best(&first, &second);
+        assert_eq!(merged.case("a").unwrap().ns_per_iter, 100.0);
+        assert_eq!(merged.case("b").unwrap().ns_per_iter, 250.0);
+        assert_eq!(merged.case("only-first").unwrap().ns_per_iter, 7.0);
+        assert_eq!(merged.case("only-second").unwrap().ns_per_iter, 9.0);
+        assert_eq!(merged.sim_events_per_sec, 2e6);
+        assert_eq!(merged.sweep_cells_per_sec[1].cells_per_sec, 4000.0);
+        assert_eq!(merged.metro[0].events_per_sec, 1.5e6);
+        // No cascade cases in the synthetic reports, so the headline
+        // speedups fall back to the better of the two runs.
+        assert_eq!(merged.facs_decision_speedup, 10.0);
+        // Note: per-entry maxima drawn from different runs can yield a
+        // worse 4t/1t *ratio* than either run showed (here 2.0/1.5 =
+        // 1.33x < 1.6x), which is why the `perf` bin evaluates the
+        // scaling gate on each fresh attempt, never on a merged report.
+        assert!(!merged.scaling_regressions().is_empty());
+    }
+
+    #[test]
+    fn merge_best_recomputes_headline_speedups_from_merged_cases() {
+        let interp = "cascade/facs-p interpreted (flc1+flc2)";
+        let compiled = "cascade/facs-p compiled (flc1+flc2)";
+        let lut = "cascade/facs-p lut (flc1+lut)";
+        // First run: contended compiled case.  Second run: contended
+        // interpreted case.  The merged speedup uses the best of each.
+        let first = synthetic(&[(interp, 1000.0), (compiled, 500.0), (lut, 50.0)]);
+        let second = synthetic(&[(interp, 2000.0), (compiled, 100.0), (lut, 40.0)]);
+        let merged = merge_best(&first, &second);
+        assert_eq!(merged.facs_decision_speedup, 1000.0 / 100.0);
+        assert_eq!(merged.facs_decision_speedup_lut, 1000.0 / 40.0);
     }
 }

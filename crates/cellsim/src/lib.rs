@@ -30,6 +30,8 @@
 //!   cell indices and slab handles).
 //! * [`slab`] — generational slab storage for per-connection state.
 //! * [`sim`] — the simulation driver and the [`AdmissionController`] trait.
+//! * [`shard`] — the spatially sharded, epoch-synchronised parallel engine
+//!   for metro-scale runs (bit-identical for any shard/thread count).
 //! * [`metrics`] — acceptance/blocking/dropping statistics and time series.
 //! * [`rng`] — small deterministic RNG helpers so every experiment is
 //!   reproducible from a seed.
@@ -43,6 +45,7 @@ pub mod geometry;
 pub mod metrics;
 pub mod mobility;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod slab;
 pub mod station;
@@ -53,6 +56,7 @@ pub use geometry::{CellGrid, CellId, CellIdx, Point};
 pub use metrics::{ClassMetrics, Metrics, StatAccumulator, SummaryStats};
 pub use mobility::{MobilityModel, UserState};
 pub use rng::SimRng;
+pub use shard::{BoxedController, MergeKey, ShardConfig, ShardReport, ShardedSimulator};
 pub use sim::{
     AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, CapacityThreshold,
     SimConfig, SimReport, Simulator,

@@ -1,0 +1,180 @@
+//! Generational-handle safety under cross-shard migration, and the
+//! ordering law of the epoch handoff-queue merge.
+//!
+//! The sharded engine moves per-connection state between per-shard
+//! [`Slab`]s on every cross-shard handoff: the source shard `remove`s the
+//! user, the merge phase `insert`s it into the target shard.  Two safety
+//! properties make that sound:
+//!
+//! * **stale handles miss** — once a connection migrates away, any event
+//!   still carrying its old [`SlotId`] (a departure scheduled before the
+//!   handoff, say) must resolve to `None`, even after the slot has been
+//!   recycled for a different connection;
+//! * **no slot aliasing** — a live handle never reads another
+//!   connection's state, no matter how the free list interleaves.
+//!
+//! The merge phase replays deferred handoff admissions in
+//! `(time, connection_id, rank)` order; [`MergeKey`]'s `Ord` is that
+//! contract, so its lawfulness (total order, agreement with the field
+//! tuple, heap-pop order) is pinned here too.
+
+use cellsim::shard::{RANK_ADMIT, RANK_HANDOFF, RANK_RELEASE};
+use cellsim::slab::{Slab, SlotId};
+use cellsim::MergeKey;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// A migration script step over a bank of slabs.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Insert a fresh connection (payload = its unique id) into slab `s`.
+    Insert { s: usize },
+    /// Migrate the `k`-th live connection to slab `to` (remove + insert).
+    Migrate { k: usize, to: usize },
+    /// Remove the `k`-th live connection entirely.
+    Remove { k: usize },
+}
+
+fn step_strategy(slabs: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0..slabs).prop_map(|s| Step::Insert { s }),
+        2 => (any::<usize>(), 0..slabs).prop_map(|(k, to)| Step::Migrate { k, to }),
+        2 => any::<usize>().prop_map(|k| Step::Remove { k }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive a random insert/migrate/remove script across a bank of
+    /// slabs (one per "shard") while tracking, for every connection ever
+    /// created, the full history of handles it was reachable through.
+    /// At every step: the current handle of each live connection reads
+    /// exactly its own payload, and every superseded handle misses.
+    #[test]
+    fn migration_never_aliases_and_stale_handles_miss(
+        slab_count in 2usize..5,
+        steps in prop::collection::vec(step_strategy(4), 1..120),
+    ) {
+        let mut slabs: Vec<Slab<u64>> = (0..slab_count).map(|_| Slab::new()).collect();
+        // id -> (slab, handle) for live connections, in creation order.
+        let mut live: Vec<(u64, usize, SlotId)> = Vec::new();
+        // Every (slab, handle) pair that was ever valid but no longer is.
+        let mut stale: Vec<(u64, usize, SlotId)> = Vec::new();
+        let mut next_id = 0u64;
+
+        for step in steps {
+            match step {
+                Step::Insert { s } => {
+                    let s = s % slab_count;
+                    let id = next_id;
+                    next_id += 1;
+                    let handle = slabs[s].insert(id);
+                    live.push((id, s, handle));
+                }
+                Step::Migrate { k, to } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let k = k % live.len();
+                    let to = to % slab_count;
+                    let (id, from, handle) = live[k];
+                    let moved = slabs[from].remove(handle)
+                        .expect("live handle must resolve");
+                    prop_assert_eq!(moved, id, "migration read the wrong connection");
+                    stale.push((id, from, handle));
+                    let new_handle = slabs[to].insert(moved);
+                    live[k] = (id, to, new_handle);
+                }
+                Step::Remove { k } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let k = k % live.len();
+                    let (id, s, handle) = live.swap_remove(k);
+                    let removed = slabs[s].remove(handle)
+                        .expect("live handle must resolve");
+                    prop_assert_eq!(removed, id, "removal read the wrong connection");
+                    stale.push((id, s, handle));
+                }
+            }
+
+            // No aliasing: every live handle reads its own payload.
+            for &(id, s, handle) in &live {
+                prop_assert_eq!(
+                    slabs[s].get(handle).copied(),
+                    Some(id),
+                    "live handle must read its own connection"
+                );
+            }
+            // Stale handles miss — even when the slot index was recycled
+            // for a newer connection (the generation must differ).
+            for &(_, s, handle) in &stale {
+                prop_assert!(
+                    slabs[s].get(handle).is_none(),
+                    "stale handle must miss after migration/removal"
+                );
+            }
+        }
+
+        // Population book-keeping survived the whole script.
+        let total: usize = slabs.iter().map(Slab::len).sum();
+        prop_assert_eq!(total, live.len());
+        // Distinct live connections occupy distinct slots per slab.
+        for (s, slab) in slabs.iter().enumerate() {
+            let mut seen = HashMap::new();
+            for &(id, ls, handle) in &live {
+                if ls == s {
+                    prop_assert!(
+                        seen.insert(handle.index(), id).is_none(),
+                        "two live connections share a slot in one slab"
+                    );
+                }
+            }
+            prop_assert_eq!(seen.len(), slab.len());
+        }
+    }
+
+    /// `MergeKey` is the merge phase's replay order: a strict
+    /// lexicographic (time, connection_id, rank) comparison.  Pinned as a
+    /// law over arbitrary keys, including exact time ties.
+    #[test]
+    fn merge_key_order_is_lexicographic_and_total(
+        mut keys in prop::collection::vec(
+            (
+                prop_oneof![Just(0.0f64), Just(5.0), Just(17.25), 0.0f64..100.0],
+                0u64..40,
+                prop_oneof![Just(RANK_RELEASE), Just(RANK_ADMIT), Just(RANK_HANDOFF)],
+            )
+                .prop_map(|(t, id, rank)| MergeKey::new(t, id, rank)),
+            2..60,
+        ),
+    ) {
+        // Agreement with the reference tuple order (total_cmp on time).
+        for a in &keys {
+            for b in &keys {
+                let reference = a
+                    .time
+                    .total_cmp(&b.time)
+                    .then(a.connection_id.cmp(&b.connection_id))
+                    .then(a.rank.cmp(&b.rank));
+                prop_assert_eq!(a.cmp(b), reference);
+                // Antisymmetry.
+                prop_assert_eq!(a.cmp(b), b.cmp(a).reverse());
+            }
+        }
+
+        // Heap-pop order (how the merge queue consumes keys) equals the
+        // sorted order — the property the barrier merge relies on.
+        let mut heap: BinaryHeap<Reverse<MergeKey>> =
+            keys.iter().copied().map(Reverse).collect();
+        let mut popped = Vec::with_capacity(keys.len());
+        while let Some(Reverse(k)) = heap.pop() {
+            popped.push(k);
+        }
+        keys.sort();
+        prop_assert_eq!(popped, keys);
+    }
+}

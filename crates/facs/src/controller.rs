@@ -15,6 +15,7 @@ use crate::flc1::{DistanceFlc1, Flc1};
 use crate::flc2::{Flc2, Flc2Lut};
 use crate::params::PaperParams;
 use crate::priority::{PriorityPolicy, RequestPriority};
+use cellsim::shard::BoxedController;
 use cellsim::sim::{AdmissionController, AdmissionDecision, AdmissionRequest};
 use cellsim::station::BaseStation;
 use fuzzy::Result;
@@ -110,7 +111,7 @@ impl FacsController {
     /// The paper-default controller behind the [`AdmissionController`]
     /// trait object — the factory shape scenario specs build from.
     #[must_use]
-    pub fn boxed_paper_default() -> Box<dyn AdmissionController> {
+    pub fn boxed_paper_default() -> BoxedController {
         Box::new(Self::paper_default())
     }
 
@@ -280,14 +281,14 @@ impl FacsPController {
     /// The paper-default controller behind the [`AdmissionController`]
     /// trait object — the factory shape scenario specs build from.
     #[must_use]
-    pub fn boxed_paper_default() -> Box<dyn AdmissionController> {
+    pub fn boxed_paper_default() -> BoxedController {
         Box::new(Self::paper_default())
     }
 
     /// The paper-default LUT-backed controller behind the
     /// [`AdmissionController`] trait object.
     #[must_use]
-    pub fn boxed_paper_default_lut() -> Box<dyn AdmissionController> {
+    pub fn boxed_paper_default_lut() -> BoxedController {
         Box::new(Self::paper_default_lut())
     }
 

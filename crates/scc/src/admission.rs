@@ -13,6 +13,7 @@ use crate::cluster::ShadowCluster;
 use crate::config::SccConfig;
 use crate::estimator::LoadEstimator;
 use cellsim::geometry::CellGrid;
+use cellsim::shard::BoxedController;
 use cellsim::sim::{AdmissionController, AdmissionDecision, AdmissionRequest};
 use cellsim::station::BaseStation;
 
@@ -41,7 +42,7 @@ impl SccAdmission {
     /// The paper-default controller behind the [`AdmissionController`]
     /// trait object — the factory shape scenario specs build from.
     #[must_use]
-    pub fn boxed_paper_default() -> Box<dyn AdmissionController> {
+    pub fn boxed_paper_default() -> BoxedController {
         Box::new(Self::new(SccConfig::paper_default()))
     }
 

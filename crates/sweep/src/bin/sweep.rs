@@ -30,7 +30,7 @@ fn usage() -> &'static str {
     "usage: sweep (--scenario NAME | --spec PATH.json | --all | --list | --print-spec NAME)\n\
      \x20      [--quick] [--threads N] [--seed N] [--json PATH] [--csv PATH]\n\
      built-in scenarios: paper-default, highway-handoff, downtown-hotspot, \
-     flash-crowd, mixed-multimedia"
+     flash-crowd, mixed-multimedia, metro"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {

@@ -9,9 +9,9 @@
 //!   experiment: grid size, cell radius and capacity, traffic mix, mobility
 //!   and speed/angle ranges, controller choices, load axis, replication
 //!   count and base seed;
-//! * [`scenarios`] — a built-in library of five ready-to-run specs
+//! * [`scenarios`] — a built-in library of six ready-to-run specs
 //!   (`paper-default`, `highway-handoff`, `downtown-hotspot`,
-//!   `flash-crowd`, `mixed-multimedia`);
+//!   `flash-crowd`, `mixed-multimedia`, and the metro-scale `metro`);
 //! * [`SweepRunner`] — fans the spec's `(controller, load, replication)`
 //!   grid out across `std::thread` workers; per-replication seeds are
 //!   derived from the base seed and aggregation order is fixed, so reports
@@ -47,6 +47,6 @@ pub mod scenarios;
 pub mod spec;
 
 pub use report::{CurveReport, PointReport, RunReport};
-pub use runner::SweepRunner;
+pub use runner::{host_parallelism, SweepRunner};
 pub use scenarios::{all_builtins, builtin, builtin_names};
 pub use spec::{ControllerSpec, LoadMode, ScenarioSpec, SpecError};

@@ -15,6 +15,14 @@
 //!
 //! Together these make the report **bit-identical** for any worker count,
 //! which `tests/determinism.rs` asserts for 1, 2 and 4 threads.
+//!
+//! Because results never depend on the worker count, the engine spawns at
+//! most [`host_parallelism`] workers regardless of the configured thread
+//! count: oversubscribing a small machine only adds context switches and
+//! cache churn (the root cause of the historical "more threads, less
+//! throughput" regression).  Workers also collect finished cells into
+//! thread-local buffers merged after the join, so the hot loop takes no
+//! locks at all.
 
 use crate::report::{CurveReport, PointReport, RunReport};
 use crate::spec::{LoadMode, ScenarioSpec, SpecError};
@@ -22,7 +30,14 @@ use cellsim::sim::Simulator;
 use cellsim::{Metrics, StatAccumulator};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// The machine's available parallelism (1 when it cannot be determined).
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// Result of one finished `(controller, load, replication)` cell.
 #[derive(Debug, Clone)]
@@ -41,15 +56,11 @@ pub struct SweepRunner {
 }
 
 impl SweepRunner {
-    /// An engine sized to the machine (`std::thread::available_parallelism`,
-    /// capped at 16 workers).
+    /// An engine sized to the machine ([`host_parallelism`], capped at 16
+    /// workers).
     #[must_use]
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(16);
-        Self::with_threads(threads)
+        Self::with_threads(host_parallelism().min(16))
     }
 
     /// An engine with an explicit worker count (floored at 1).  The worker
@@ -67,6 +78,15 @@ impl SweepRunner {
         self.threads
     }
 
+    /// Workers actually spawned for a grid of `total` cells: never more
+    /// than the configured count, the cell count, or the machine's
+    /// available parallelism.  Requesting 4 workers on a 1-core host runs
+    /// 1 — identical results, none of the oversubscription penalty.
+    #[must_use]
+    fn effective_workers(&self, total: usize) -> usize {
+        self.threads.min(total.max(1)).min(host_parallelism())
+    }
+
     /// Run `spec` end to end and aggregate the result.
     pub fn run(&self, spec: &ScenarioSpec) -> Result<RunReport, SpecError> {
         spec.validate()?;
@@ -77,9 +97,8 @@ impl SweepRunner {
 
         // Cell index layout: controller-major, then load point, then
         // replication — the same order aggregation walks below.
-        let cells: Mutex<Vec<Option<CellOutcome>>> = Mutex::new(vec![None; total]);
         let next_cell = AtomicUsize::new(0);
-        let workers = self.threads.min(total.max(1));
+        let workers = self.effective_workers(total);
 
         // Each worker owns ONE simulator and re-arms it per cell with
         // `Simulator::reset` — stations, slabs, the event heap and the
@@ -116,29 +135,41 @@ impl SweepRunner {
             }
         };
 
+        // Workers buffer finished cells locally and hand the buffer back
+        // at join time — no lock on the hot path, and each worker touches
+        // only its own cache lines while simulating.
         let worker_loop = || {
             let mut sim: Option<Simulator> = None;
+            let mut local: Vec<(usize, CellOutcome)> = Vec::new();
             loop {
                 let index = next_cell.fetch_add(1, Ordering::Relaxed);
                 if index >= total {
                     break;
                 }
-                let outcome = run_cell(index, &mut sim);
-                cells.lock().expect("cell store poisoned")[index] = Some(outcome);
+                local.push((index, run_cell(index, &mut sim)));
             }
+            local
         };
 
+        let mut cells: Vec<Option<CellOutcome>> = vec![None; total];
         if workers <= 1 {
-            worker_loop();
+            for (index, outcome) in worker_loop() {
+                cells[index] = Some(outcome);
+            }
         } else {
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(worker_loop);
-                }
+            let batches = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker_loop)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect::<Vec<_>>()
             });
+            for batch in batches {
+                for (index, outcome) in batch {
+                    cells[index] = Some(outcome);
+                }
+            }
         }
-
-        let cells = cells.into_inner().expect("cell store poisoned");
         let mut curves = Vec::with_capacity(n_controllers);
         for (controller_idx, controller) in spec.controllers.iter().enumerate() {
             let mut points = Vec::with_capacity(n_points);
@@ -274,5 +305,18 @@ mod tests {
         assert_eq!(SweepRunner::with_threads(0).threads(), 1);
         assert!(SweepRunner::new().threads() >= 1);
         assert!(SweepRunner::new().threads() <= 16);
+    }
+
+    #[test]
+    fn spawned_workers_never_oversubscribe_the_host() {
+        let runner = SweepRunner::with_threads(64);
+        assert_eq!(runner.threads(), 64, "the configured count is preserved");
+        assert!(runner.effective_workers(1000) <= host_parallelism());
+        assert_eq!(runner.effective_workers(0), 1);
+        assert_eq!(
+            SweepRunner::with_threads(8).effective_workers(3),
+            3.min(host_parallelism()),
+            "small grids never spawn idle workers"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! The built-in scenario library.
 //!
-//! Five ready-to-run [`ScenarioSpec`]s covering the paper's evaluation and
+//! Six ready-to-run [`ScenarioSpec`]s covering the paper's evaluation and
 //! the workloads the ROADMAP asks the system to grow into.  Each is a
 //! plain value: fetch it with [`builtin`], tweak it with the spec's
 //! builders, or dump it with [`ScenarioSpec::to_json`] as a starting point
@@ -19,6 +19,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "downtown-hotspot",
         "flash-crowd",
         "mixed-multimedia",
+        "metro",
     ]
 }
 
@@ -31,6 +32,7 @@ pub fn builtin(name: &str) -> Option<ScenarioSpec> {
         "downtown-hotspot" => Some(downtown_hotspot()),
         "flash-crowd" => Some(flash_crowd()),
         "mixed-multimedia" => Some(mixed_multimedia()),
+        "metro" => Some(metro()),
         _ => None,
     }
 }
@@ -211,6 +213,57 @@ fn mixed_multimedia() -> ScenarioSpec {
     }
 }
 
+/// The ROADMAP's metro-scale north star: a city-sized network of 2107
+/// cells (grid radius 26) with 2000-BU macro stations.  At the top load
+/// point the offered traffic saturates the whole metro — about 1.5 million
+/// concurrent users — which is the workload the sharded engine's 1/2/4
+/// thread headline numbers in `BENCH_perf.json` are measured on.
+///
+/// Arrivals come every 0.5 ms with 20-minute mean holding times, so the
+/// population ramps to saturation within the run; 0–60 km/h users on
+/// 1.5 km cells hand off several times per call, exercising cross-shard
+/// migration.  One replication: at metro scale a single run already
+/// aggregates millions of calls, and the perf harness re-runs the same
+/// seed for timing stability.
+///
+/// The paper's fuzzy controllers are tuned to 40-BU cells (FLC2's counter
+/// state and the LUT tabulation are absolute-BU quantities), so at
+/// 2000 BU they reject almost everything; the metro baselines are the
+/// capacity-*relative* controllers — admit-if-it-fits and a guard-channel
+/// threshold — which scale with station size.
+fn metro() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "metro".to_string(),
+        description: "Metro-scale saturation: 2107 cells of 1.5 km, 2000-BU stations, \
+                      ~1.5M concurrent users at the top load point"
+            .to_string(),
+        grid_radius_cells: 26,
+        cell_radius_m: 1500.0,
+        station_capacity: 2000,
+        traffic: TrafficConfig {
+            mean_interarrival_s: 0.0005,
+            mean_holding_s: 1200.0,
+            min_speed_kmh: 0.0,
+            max_speed_kmh: 60.0,
+            direction_predictability: 1.0,
+            ..TrafficConfig::paper_default()
+        },
+        mobility: MobilityModel::ConstantVelocity,
+        utilization_sample_interval_s: 60.0,
+        controllers: vec![
+            ControllerSpec::AlwaysAccept,
+            ControllerSpec::Threshold {
+                new_call: 0.95,
+                handoff: 1.0,
+            },
+        ],
+        load_mode: LoadMode::TotalRequests,
+        load_points: vec![200_000, 600_000, 1_800_000],
+        replications: 1,
+        base_seed: 0x3E7,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +294,29 @@ mod tests {
         assert!(modes.contains(&"window"));
         assert!(modes.contains(&"total"));
         assert!(modes.contains(&"batch"));
+    }
+
+    #[test]
+    fn metro_is_metro_scale() {
+        let spec = builtin("metro").unwrap();
+        let cells = 3 * spec.grid_radius_cells * (spec.grid_radius_cells + 1) + 1;
+        assert!(cells >= 2000, "thousands of cells, got {cells}");
+        // Offered concurrent demand at the top load point exceeds the whole
+        // metro's capacity in bandwidth units, so the saturated population
+        // (capacity / mean request) clears the 1M-concurrent-users bar.
+        let mean_bu = 0.7 * 1.0 + 0.2 * 5.0 + 0.1 * 10.0;
+        let saturated_users = f64::from(cells * spec.station_capacity) / mean_bu;
+        assert!(
+            saturated_users >= 1_000_000.0,
+            "saturated population must exceed 1M users, got {saturated_users:.0}"
+        );
+        let top = *spec.load_points.last().unwrap() as f64;
+        let offered_bu = top * mean_bu;
+        assert!(
+            offered_bu >= f64::from(cells * spec.station_capacity),
+            "top load point must saturate the metro"
+        );
+        spec.validate().unwrap();
     }
 
     #[test]

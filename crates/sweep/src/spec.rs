@@ -9,7 +9,8 @@
 //! because every random draw of every replication is derived from the
 //! spec's `base_seed` by a fixed rule ([`ScenarioSpec::seed_for`]).
 
-use cellsim::sim::{AdmissionController, AlwaysAccept, CapacityThreshold, SimConfig};
+use cellsim::shard::BoxedController;
+use cellsim::sim::{AlwaysAccept, CapacityThreshold, SimConfig};
 use cellsim::traffic::TrafficConfig;
 use cellsim::{Bandwidth, MobilityModel};
 use facs::{FacsController, FacsPController};
@@ -18,7 +19,8 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which admission controller a scenario runs (the controller factory:
-/// every variant knows how to build its boxed [`AdmissionController`]).
+/// every variant knows how to build its boxed
+/// [`AdmissionController`](cellsim::sim::AdmissionController)).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ControllerSpec {
     /// The proposed FACS-P controller.
@@ -59,8 +61,12 @@ impl ControllerSpec {
     }
 
     /// Instantiate a fresh controller for one replication.
+    ///
+    /// The box is `Send` so the same factory drives both the sequential
+    /// per-cell sweep workers and the sharded engine's per-shard
+    /// controller banks.
     #[must_use]
-    pub fn build(&self) -> Box<dyn AdmissionController> {
+    pub fn build(&self) -> BoxedController {
         match self {
             ControllerSpec::FacsP => FacsPController::boxed_paper_default(),
             ControllerSpec::FacsPLut => FacsPController::boxed_paper_default_lut(),

@@ -39,9 +39,9 @@ pub mod prelude {
     pub use cellsim::traffic::TrafficConfig;
     pub use cellsim::{
         AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, BaseStation,
-        CallRequest, CapacityThreshold, CellGrid, CellId, Metrics, MobilityModel, Point,
-        ServiceClass, SimConfig, SimReport, SimRng, Simulator, StatAccumulator, SummaryStats,
-        TrafficGenerator, TrafficMix, UserState,
+        BoxedController, CallRequest, CapacityThreshold, CellGrid, CellId, Metrics, MobilityModel,
+        Point, ServiceClass, ShardConfig, ShardReport, ShardedSimulator, SimConfig, SimReport,
+        SimRng, Simulator, StatAccumulator, SummaryStats, TrafficGenerator, TrafficMix, UserState,
     };
     pub use facs::{
         DifferentiatedService, FacsConfig, FacsController, FacsPConfig, FacsPController, Flc1,
@@ -50,8 +50,8 @@ pub mod prelude {
     pub use fuzzy::prelude::*;
     pub use scc::{SccAdmission, SccConfig};
     pub use sweep::{
-        all_builtins, builtin, builtin_names, ControllerSpec, CurveReport, LoadMode, PointReport,
-        RunReport, ScenarioSpec, SweepRunner,
+        all_builtins, builtin, builtin_names, host_parallelism, ControllerSpec, CurveReport,
+        LoadMode, PointReport, RunReport, ScenarioSpec, SweepRunner,
     };
 }
 

@@ -1,0 +1,149 @@
+//! Sharded-vs-solo golden equivalence.
+//!
+//! The sharded engine's determinism contract (see `cellsim::shard`) is
+//! that the [`ShardReport`] of a run is a pure function of the
+//! [`SimConfig`] and the epoch length — the shard count and thread count
+//! must never show through.  This test enforces the contract from two
+//! directions:
+//!
+//! 1. **solo vs sharded**: for each pinned case, a 1-shard/1-thread run
+//!    and several genuinely parallel shardings must produce byte-identical
+//!    report JSON;
+//! 2. **golden pinning**: the solo report is compared against a snapshot
+//!    committed under `tests/golden/`, so an engine change that shifts any
+//!    counter shows up as a reviewable diff (regenerate intentional
+//!    changes with `UPDATE_GOLDEN=1`, mirroring `golden_snapshots.rs`).
+//!
+//! The pinned cases are the 19-cell `highway-handoff` workload (dense
+//! cross-cell handoff traffic on a small grid) and the 2107-cell `metro`
+//! workload at its first load point (cross-shard migration at scale).
+
+use facs_suite::prelude::*;
+use std::path::PathBuf;
+
+/// One pinned equivalence case.
+struct Case {
+    scenario: &'static str,
+    /// Index into the scenario's controller list.
+    controller: usize,
+    /// Index into the scenario's load axis.
+    load_index: usize,
+    /// Non-trivial shardings that must all reproduce the solo run.
+    shardings: &'static [(usize, usize)],
+}
+
+const CASES: &[Case] = &[
+    Case {
+        scenario: "highway-handoff",
+        controller: 0, // FACS-P
+        load_index: 2, // 2000 requests
+        shardings: &[(2, 1), (5, 2), (19, 4)],
+    },
+    Case {
+        scenario: "metro",
+        controller: 1, // capacity threshold
+        load_index: 0, // 200k requests
+        shardings: &[(4, 2), (16, 4)],
+    },
+];
+
+fn snapshot_path(scenario: &str, controller: &ControllerSpec) -> PathBuf {
+    let label: String = controller
+        .label()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("sharded__{scenario}__{label}.json"))
+}
+
+fn run_sharded(
+    spec: &ScenarioSpec,
+    controller: &ControllerSpec,
+    load_index: usize,
+    sharding: ShardConfig,
+) -> ShardReport {
+    let load = spec.load_points[load_index];
+    let config = spec.sim_config(controller, load_index, 0);
+    let mut sim = ShardedSimulator::new(config, sharding);
+    let mut factory = || controller.build();
+    sim.run_poisson(&mut factory, load)
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_to_solo_and_match_golden() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for case in CASES {
+        let spec = builtin(case.scenario).expect("pinned scenarios are built-ins");
+        let controller = spec.controllers[case.controller];
+        let solo = run_sharded(&spec, &controller, case.load_index, ShardConfig::solo());
+        let solo_json = serde_json::to_string_pretty(&solo).expect("reports serialize");
+
+        assert!(
+            solo.handoffs_offered > 0,
+            "{}: the case must exercise handoffs to be meaningful",
+            case.scenario
+        );
+
+        for &(shards, threads) in case.shardings {
+            let sharded = run_sharded(
+                &spec,
+                &controller,
+                case.load_index,
+                ShardConfig::new(shards).with_threads(threads),
+            );
+            let sharded_json = serde_json::to_string_pretty(&sharded).expect("reports serialize");
+            assert_eq!(
+                solo_json, sharded_json,
+                "{}: report must be bit-identical between solo and \
+                 {shards} shards / {threads} threads",
+                case.scenario
+            );
+        }
+
+        let path = snapshot_path(case.scenario, &controller);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, format!("{solo_json}\n")).unwrap();
+        } else {
+            let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                expected.trim_end(),
+                solo_json,
+                "ShardReport for `{}` drifted from its golden snapshot {}; if the change \
+                 is intentional, regenerate with UPDATE_GOLDEN=1",
+                case.scenario,
+                path.display()
+            );
+        }
+    }
+}
+
+/// The metro case must actually be metro-scale: the pinned run itself
+/// clears a six-figure concurrent population, and at the top load point
+/// the same engine (exercised by the perf harness, not here, to keep
+/// tier-1 fast) saturates past one million users.
+#[test]
+fn metro_case_reaches_scale() {
+    let spec = builtin("metro").unwrap();
+    let controller = spec.controllers[1];
+    let report = run_sharded(&spec, &controller, 0, ShardConfig::new(4).with_threads(2));
+    assert!(
+        report.peak_concurrent_users > 100_000,
+        "first metro load point must already hold >100k concurrent users, got {}",
+        report.peak_concurrent_users
+    );
+    assert!(report.events_processed > 400_000);
+}

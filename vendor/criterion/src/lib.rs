@@ -1,0 +1,296 @@
+//! Offline API-compatible stand-in for `criterion` 0.5.
+//!
+//! Implements the surface this workspace's benches use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`], benchmark
+//! groups, [`BenchmarkId`], [`Bencher::iter`] and [`black_box`] — with a
+//! simple wall-clock measurement loop instead of the upstream statistical
+//! machinery.  Each benchmark runs a short warm-up, then `sample_size`
+//! timed batches, and reports the per-iteration mean and min/max to
+//! stdout in a `name  time: [.. .. ..]` line, so `cargo bench` output
+//! stays human-readable and grep-able.  No reports are written to disk.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier: prevents the optimiser from deleting or
+/// constant-folding the benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement settings and the registry entry point handed to every
+/// benchmark target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed batches each benchmark records.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark under `group-name/id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&name, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut routine: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&name, self.sample_size, &mut |b: &mut Bencher| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; a no-op for the
+    /// stand-in, kept so call sites read identically).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new<D: Display>(function: &str, parameter: D) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Conversion of the various accepted id types into [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Perform the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per timed batch (tuned during warm-up).
+    iters_per_batch: u64,
+    /// Recorded per-batch durations in nanoseconds.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, pick a batch size targeting a few
+    /// milliseconds per batch, then record `sample_size` timed batches.
+    pub fn iter<T, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> T,
+    {
+        // Warm-up and batch sizing: grow the batch until it takes ≥ 1 ms
+        // or a cap is hit, so per-iteration timer overhead is negligible
+        // for fast routines while slow routines still finish quickly.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_micros() >= 1000 || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters_per_batch = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, routine: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters_per_batch: 1,
+        samples: Vec::new(),
+        sample_size,
+    };
+    routine(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<60} (no measurement — bencher.iter never called)");
+        return;
+    }
+    let min = bencher
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+    println!(
+        "{name:<60} time: [{} {} {}] ({} samples × {} iters)",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max),
+        bencher.samples.len(),
+        bencher.iters_per_batch,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function, mirroring upstream's two macro
+/// forms (positional targets, or `name/config/targets` key-value style).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = "Benchmark group entry point (criterion stand-in)."]
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running every listed group.
+/// `cargo bench` passes harness flags (`--bench`, filters) on the command
+/// line; the stand-in accepts and ignores them.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow harness arguments such as `--bench`.
+            let _ = std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("f", |b| b.iter(|| black_box(1)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

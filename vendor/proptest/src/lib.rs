@@ -169,6 +169,104 @@ pub mod strategy {
         (A: 0, B: 1, C: 2, D: 3, E: 4)
         (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
     }
+
+    /// Weighted union over same-valued strategies, built by
+    /// [`prop_oneof!`](crate::prop_oneof).  Arms are type-erased so the
+    /// macro can mix strategy types (`Just`, ranges, maps…) freely.
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+    }
+
+    impl<V> Union<V> {
+        /// Build a union from `(weight, sampler)` arms; weights must not
+        /// all be zero.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>) -> Self {
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs at least one arm with non-zero weight"
+            );
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.below(total);
+            for (weight, sampler) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return sampler(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights sum to `total`");
+        }
+    }
+}
+
+/// `any::<T>()` strategies, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one value from the type's full domain.
+        fn sample_any(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// Full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_any(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn sample_any(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn sample_any(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn sample_any(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn sample_any(rng: &mut TestRng) -> f32 {
+            rng.next_f64() as f32
+        }
+    }
 }
 
 /// Boolean strategies, mirroring `proptest::bool`.
@@ -260,9 +358,13 @@ pub mod collection {
 
 /// Everything a `proptest!`-based test file needs in scope.
 pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Map, Strategy};
     pub use crate::test_runner::TestRng;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
     #[derive(Debug, Clone)]
@@ -318,7 +420,8 @@ macro_rules! __proptest_impl {
                 while accepted < config.cases && attempts < max_attempts {
                     attempts += 1;
                     $(let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
-                    let case = move || -> ::std::result::Result<(), $crate::test_runner::Rejected> {
+                    #[allow(unused_mut)]
+                    let mut case = move || -> ::std::result::Result<(), $crate::test_runner::Rejected> {
                         $body
                         ::std::result::Result::Ok(())
                     };
@@ -333,6 +436,28 @@ macro_rules! __proptest_impl {
                 );
             }
         )*
+    };
+}
+
+/// Pick between strategies, optionally weighted (`weight => strategy`).
+/// All arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((
+                $weight as u32,
+                {
+                    let strategy = $strategy;
+                    ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::sample(&strategy, rng)
+                    }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+                }
+            ),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
     };
 }
 

@@ -10,11 +10,21 @@
 //! structs, and enums with unit / named-field / tuple variants. Generic
 //! parameters are carried through; type parameters get a `Serialize` /
 //! `Deserialize` bound appended.
+//!
+//! The only field attribute understood is `#[serde(skip)]` on named
+//! fields: the field is omitted from the serialised form and restored
+//! with `Default::default()` on deserialisation, matching upstream.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// A named struct/variant field, plus whether `#[serde(skip)]` marked it.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -31,7 +41,7 @@ struct Input {
     body: Body,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     render_serialize(&parsed)
@@ -39,7 +49,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated Serialize impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     render_deserialize(&parsed)
@@ -121,6 +131,49 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
     }
 }
 
+/// Like [`skip_attrs_and_vis`], but reports whether one of the skipped
+/// attributes was `#[serde(skip)]`.
+fn skip_attrs_and_vis_detecting_skip(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                }
+                *pos += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // `pub(crate)` and friends
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// `true` for the token stream inside the brackets of `#[serde(skip)]`.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
 fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> String {
     match tokens.get(*pos) {
         Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
@@ -170,18 +223,22 @@ fn next_brace_group(tokens: &[TokenTree], pos: &mut usize) -> TokenStream {
 }
 
 /// Field names of a `{ ... }` struct body, skipping attributes, visibility
-/// and types (commas inside `<...>` are not field separators).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// and types (commas inside `<...>` are not field separators).  A
+/// `#[serde(skip)]` attribute marks the following field as skipped.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut pos);
+        let skip = skip_attrs_and_vis_detecting_skip(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
         match &tokens[pos] {
-            TokenTree::Ident(i) => fields.push(i.to_string()),
+            TokenTree::Ident(i) => fields.push(Field {
+                name: i.to_string(),
+                skip,
+            }),
             other => panic!("expected field name, found {other}"),
         }
         pos += 1;
@@ -341,10 +398,12 @@ fn render_generics(generics: &str, bound: &str) -> (String, String) {
 // Code generation
 // ---------------------------------------------------------------------------
 
-fn ser_named_fields(fields: &[String], accessor: &str) -> String {
+fn ser_named_fields(fields: &[Field], accessor: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
+        .filter(|f| !f.skip)
         .map(|f| {
+            let f = &f.name;
             format!(
                 "(::std::string::String::from(\"{f}\"), \
                  ::serde::Serialize::serialize_value({accessor}{f}))"
@@ -357,14 +416,20 @@ fn ser_named_fields(fields: &[String], accessor: &str) -> String {
     )
 }
 
-fn de_named_fields(fields: &[String], source: &str) -> String {
+fn de_named_fields(fields: &[Field], source: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::deserialize_value({source}.get(\"{f}\")\
-                 .ok_or_else(|| ::serde::Error::custom(\"missing field `{f}`\"))?)?"
-            )
+            let skip = f.skip;
+            let f = &f.name;
+            if skip {
+                format!("{f}: ::std::default::Default::default()")
+            } else {
+                format!(
+                    "{f}: ::serde::Deserialize::deserialize_value({source}.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::Error::custom(\"missing field `{f}`\"))?)?"
+                )
+            }
         })
         .collect();
     inits.join(", ")
@@ -393,10 +458,21 @@ fn render_serialize(input: &Input) -> String {
                          ::serde::Value::String(::std::string::String::from(\"{variant}\")),"
                     ),
                     Fields::Named(fields) => {
-                        let bindings = fields.join(", ");
+                        // Bind only serialised fields; `..` absorbs any
+                        // `#[serde(skip)]` ones.
+                        let bindings: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.clone())
+                            .collect();
+                        let pattern = if bindings.is_empty() {
+                            "..".to_string()
+                        } else {
+                            format!("{}, ..", bindings.join(", "))
+                        };
                         let inner = ser_named_fields(fields, "");
                         format!(
-                            "Self::{variant} {{ {bindings} }} => ::serde::Value::Object(\
+                            "Self::{variant} {{ {pattern} }} => ::serde::Value::Object(\
                              ::std::vec![(::std::string::String::from(\"{variant}\"), {inner})]),"
                         )
                     }
