@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p facs-bench --bin perf -- \
-//!     [--quick] [--json [PATH]] [--check BASELINE]
+//!     [--quick] [--json [PATH]] [--check BASELINE] [--telemetry PATH]
 //! ```
 //!
 //! `--quick` trims the end-to-end workloads (the CI smoke mode); `--json`
@@ -12,12 +12,15 @@
 //! a committed baseline report and exits non-zero if any case regressed
 //! more than 30 % beyond the machine-speed-normalised baseline, if a
 //! headline interpreted-vs-compiled speedup lost more than 30 % of its
-//! baseline value, or if the report's own thread-scaling gates fail —
-//! this is the CI perf-regression gate.  A failing check is retried up to
-//! two more times with the per-case minima merged across attempts, so a
-//! transiently contended measurement window does not fail the build but a
-//! persistent regression (slow in every attempt) does.  The process also
-//! exits non-zero if the produced report is empty.
+//! baseline value, or if the report's own thread-scaling or
+//! telemetry-overhead gates fail — this is the CI perf-regression gate.
+//! A failing check is retried up to two more times with the per-case
+//! minima merged across attempts, so a transiently contended measurement
+//! window does not fail the build but a persistent regression (slow in
+//! every attempt) does.  `--telemetry PATH` writes the suite's telemetry
+//! snapshot — Prometheus text exposition when the path ends in `.prom`,
+//! JSON otherwise.  The process also exits non-zero if the produced
+//! report is empty.
 
 use bench::perf;
 use bench::perf::PerfReport;
@@ -26,6 +29,7 @@ struct Args {
     quick: bool,
     json: Option<String>,
     check: Option<String>,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         json: None,
         check: None,
+        telemetry: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -57,10 +62,18 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--check requires a baseline report path".to_string());
                 }
             }
+            "--telemetry" => {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    args.telemetry = Some(argv[i + 1].clone());
+                    i += 1;
+                } else {
+                    return Err("--telemetry requires an output path".to_string());
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}`; expected [--quick] [--json [PATH]] \
-                     [--check BASELINE]"
+                     [--check BASELINE] [--telemetry PATH]"
                 ));
             }
         }
@@ -135,7 +148,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut report = perf::run(args.quick);
+    let (mut report, mut telemetry) = perf::run_with_telemetry(args.quick);
     let mut check_failures: Option<Vec<String>> = None;
 
     if let Some(baseline_path) = &args.check {
@@ -146,13 +159,18 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        // The scaling gate passes as soon as any single attempt shows a
-        // healthy thread-scaling story (judged on fresh runs — see
-        // `baseline_failures` for why never on merged ones).
+        // The scaling and telemetry-overhead gates pass as soon as any
+        // single attempt is healthy (judged on fresh runs — see
+        // `baseline_failures` for why never on merged ones; merged minima
+        // could additionally pair an instrumented timing from one attempt
+        // with a plain timing from another, which is not an overhead
+        // measurement at all).
         let mut scaling_failures = report.scaling_regressions();
+        let mut overhead_failures = report.telemetry_overhead_regressions();
         for attempt in 1..=MAX_CHECK_ATTEMPTS {
             let mut failures = baseline_failures(&report, &baseline);
             failures.extend(scaling_failures.clone());
+            failures.extend(overhead_failures.clone());
             if failures.is_empty() {
                 eprintln!(
                     "perf check passed on attempt {attempt}: {} cases within {:.0} % of {}",
@@ -171,11 +189,15 @@ fn main() {
                      not):\n  {}",
                     failures.join("\n  ")
                 );
-                let fresh = perf::run(args.quick);
+                let (fresh, fresh_telemetry) = perf::run_with_telemetry(args.quick);
                 if !scaling_failures.is_empty() {
                     scaling_failures = fresh.scaling_regressions();
                 }
+                if !overhead_failures.is_empty() {
+                    overhead_failures = fresh.telemetry_overhead_regressions();
+                }
                 report = perf::merge_best(&report, &fresh);
+                telemetry = fresh_telemetry;
             }
         }
     }
@@ -187,6 +209,18 @@ fn main() {
     }
     if let Some(path) = &args.json {
         if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.telemetry {
+        let text = if path.ends_with(".prom") {
+            telemetry.to_prometheus()
+        } else {
+            telemetry.to_json()
+        };
+        if let Err(e) = std::fs::write(path, text) {
             eprintln!("could not write {path}: {e}");
             std::process::exit(1);
         }

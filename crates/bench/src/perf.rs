@@ -15,6 +15,9 @@ use cellsim::sim::{
     AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, SimConfig, Simulator,
 };
 use cellsim::station::BaseStation;
+use cellsim::telemetry::{
+    LabelPair, NoopRecorder, Recorder, Registry, SpanSnapshot, TelemetrySnapshot,
+};
 use cellsim::traffic::ServiceClass;
 use facs::{FacsController, FacsPController, Flc1, Flc2};
 use serde::{Deserialize, Serialize};
@@ -171,6 +174,56 @@ impl PerfReport {
     pub const NO_SLOWDOWN_FACTOR: f64 = 0.9;
     /// Required metro 1→4-thread speedup on hosts with ≥4 cores.
     pub const REQUIRED_METRO_SCALING: f64 = 1.6;
+    /// Instrumented runs may cost at most this factor over their
+    /// uninstrumented twins (≤5 % overhead).
+    pub const MAX_TELEMETRY_OVERHEAD: f64 = 1.05;
+
+    /// Telemetry-overhead violations, as human-readable descriptions;
+    /// empty when every instrumented case is within
+    /// [`Self::MAX_TELEMETRY_OVERHEAD`] of its uninstrumented twin.
+    ///
+    /// Cases pair by name: a case whose name contains the `, telemetry`
+    /// marker is compared against the case named identically without it
+    /// (e.g. `sim/... (always-accept, telemetry, 20000 req)` vs
+    /// `sim/... (always-accept, 20000 req)`).  Both timings come from the
+    /// *same* run of the same binary, so no cross-machine normalisation is
+    /// needed — the ratio is the overhead.  A `, telemetry` case with no
+    /// twin in the report is itself a violation: the gate must never pass
+    /// vacuously because a rename broke the pairing.
+    #[must_use]
+    pub fn telemetry_overhead_regressions(&self) -> Vec<String> {
+        const MARKER: &str = ", telemetry,";
+        let mut problems = Vec::new();
+        for case in &self.cases {
+            if !case.name.contains(MARKER) {
+                continue;
+            }
+            let plain_name = case.name.replace(MARKER, ",");
+            let Some(plain) = self.case(&plain_name) else {
+                problems.push(format!(
+                    "telemetry case `{}` has no uninstrumented twin `{plain_name}`",
+                    case.name
+                ));
+                continue;
+            };
+            if !(plain.ns_per_iter.is_finite() && plain.ns_per_iter > 0.0) {
+                problems.push(format!("case `{plain_name}` has a bogus timing"));
+                continue;
+            }
+            let ratio = case.ns_per_iter / plain.ns_per_iter;
+            if ratio > Self::MAX_TELEMETRY_OVERHEAD {
+                problems.push(format!(
+                    "telemetry overhead {:.1} % on `{plain_name}` exceeds the {:.0} % budget \
+                     ({:.1} ns/iter instrumented vs {:.1} plain)",
+                    (ratio - 1.0) * 100.0,
+                    (Self::MAX_TELEMETRY_OVERHEAD - 1.0) * 100.0,
+                    case.ns_per_iter,
+                    plain.ns_per_iter,
+                ));
+            }
+        }
+        problems
+    }
 
     /// Plain-text table of the report.
     #[must_use]
@@ -451,10 +504,27 @@ fn time_case(name: &str, iters: u64, mut routine: impl FnMut() -> f64) -> PerfCa
 /// mode time different workloads, and [`compare_reports`] must never
 /// compare a 4k-request run against a 20k-request baseline.
 fn time_sim_events(label: &str, controller: &mut dyn AdmissionController, quick: bool) -> PerfCase {
+    // An explicit `NoopRecorder` rather than the default alias, so this
+    // case times the uninstrumented engine even if some other crate in
+    // the build graph unified the `telemetry` feature on.
+    time_sim_events_with::<NoopRecorder>(label, controller, quick).0
+}
+
+/// The generic core of [`time_sim_events`]: times `Simulator<R>` and also
+/// returns the simulator's final telemetry snapshot (empty for the no-op
+/// recorder).  Used with [`Registry`] to measure the instrumented engine
+/// for the telemetry-overhead gate — same workload, same seed, same case
+/// naming scheme, with `, telemetry` spliced into the label so
+/// [`PerfReport::telemetry_overhead_regressions`] can pair the two.
+fn time_sim_events_with<R: Recorder>(
+    label: &str,
+    controller: &mut dyn AdmissionController,
+    quick: bool,
+) -> (PerfCase, TelemetrySnapshot) {
     let requests = if quick { 4_000 } else { 20_000 };
     let runs = if quick { 3 } else { 5 };
     let config = SimConfig::paper_default().with_seed(0xBEEF);
-    let mut sim = Simulator::new(config.clone());
+    let mut sim = Simulator::<R>::with_telemetry(config.clone());
     std::hint::black_box(sim.run_poisson(controller, requests));
     let mut events = 0u64;
     let mut best_ns = f64::INFINITY;
@@ -466,11 +536,12 @@ fn time_sim_events(label: &str, controller: &mut dyn AdmissionController, quick:
         events += sim.events_processed();
         best_ns = best_ns.min(elapsed.as_nanos() as f64 / sim.events_processed() as f64);
     }
-    PerfCase {
+    let case = PerfCase {
         name: format!("sim/paper-default poisson events ({label}, {requests} req)"),
         ns_per_iter: best_ns,
         iters: events,
-    }
+    };
+    (case, sim.telemetry())
 }
 
 /// Time full paper-default sweeps at one worker count, reporting
@@ -581,6 +652,16 @@ fn probe_request(class: ServiceClass, speed: f64, angle: f64) -> AdmissionReques
 /// modes) share names across modes.
 #[must_use]
 pub fn run(quick: bool) -> PerfReport {
+    run_with_telemetry(quick).0
+}
+
+/// [`run`], also returning a telemetry snapshot of the suite itself: the
+/// instrumented simulator's full registry (counters, histograms, gauges,
+/// spans from the `, telemetry` sim case) plus one `bench_case_ns` span
+/// per timed case carrying the min-of-batches result.  Exported by
+/// `perf --telemetry PATH` in Prometheus or JSON form.
+#[must_use]
+pub fn run_with_telemetry(quick: bool) -> (PerfReport, TelemetrySnapshot) {
     // The microbenchmarks keep the full iteration budget even in quick
     // mode: they cost ~2 s total, and an identical budget means quick and
     // full runs measure matched cases identically (same batch count, same
@@ -733,6 +814,13 @@ pub fn run(quick: bool) -> PerfReport {
     let engine_case = time_sim_events("always-accept", &mut AlwaysAccept, quick);
     let sim_events_per_sec = 1e9 / engine_case.ns_per_iter;
     cases.push(engine_case);
+    // The same workload through the instrumented recorder.  Its case name
+    // differs from the plain one only by the `, telemetry` marker, which
+    // is how `telemetry_overhead_regressions` pairs them; the snapshot it
+    // produces is the sim-layer slice of the `--telemetry` export.
+    let (telem_case, sim_snapshot) =
+        time_sim_events_with::<Registry>("always-accept, telemetry", &mut AlwaysAccept, quick);
+    cases.push(telem_case);
     cases.push(time_sim_events(
         "facs-p-lut",
         &mut FacsPController::paper_default_lut(),
@@ -758,7 +846,7 @@ pub fn run(quick: bool) -> PerfReport {
         cases.push(case);
     }
 
-    PerfReport {
+    let report = PerfReport {
         quick,
         host_parallelism: host_parallelism(),
         cases,
@@ -767,7 +855,37 @@ pub fn run(quick: bool) -> PerfReport {
         sim_events_per_sec,
         sweep_cells_per_sec,
         metro,
+    };
+    let snapshot = compose_bench_snapshot(&report, sim_snapshot);
+    (report, snapshot)
+}
+
+/// Fold the suite's results into one exportable snapshot: the
+/// instrumented sim run's registry series, then one `bench_case_ns` span
+/// per case (count = iterations, min/max = best ns/iter — the only
+/// per-iteration statistic min-of-batches timing retains).
+fn compose_bench_snapshot(report: &PerfReport, sim: TelemetrySnapshot) -> TelemetrySnapshot {
+    let mut snapshot = sim;
+    for case in &report.cases {
+        let ns = if case.ns_per_iter.is_finite() && case.ns_per_iter > 0.0 {
+            case.ns_per_iter
+        } else {
+            0.0
+        };
+        snapshot.spans.push(SpanSnapshot {
+            name: "bench_case_ns".to_string(),
+            help: "Best-batch nanoseconds per iteration of each perf case".to_string(),
+            labels: vec![LabelPair {
+                key: "case".to_string(),
+                value: case.name.clone(),
+            }],
+            count: case.iters,
+            total_ns: (ns * case.iters as f64) as u64,
+            min_ns: ns as u64,
+            max_ns: ns as u64,
+        });
     }
+    snapshot
 }
 
 #[cfg(test)]
@@ -795,6 +913,9 @@ mod tests {
         // against the full-mode baseline entries.
         assert!(report
             .case("sim/paper-default poisson events (always-accept, 4000 req)")
+            .is_some());
+        assert!(report
+            .case("sim/paper-default poisson events (always-accept, telemetry, 4000 req)")
             .is_some());
         assert!(report
             .case("sim/paper-default poisson events (facs-p-lut, 4000 req)")
@@ -956,6 +1077,50 @@ mod tests {
         let mut missing = synthetic(&[("a", 100.0)]);
         missing.metro.clear();
         assert!(!missing.scaling_regressions().is_empty());
+    }
+
+    #[test]
+    fn telemetry_gate_pairs_cases_by_the_marker_in_their_names() {
+        let plain = "sim/paper-default poisson events (always-accept, 20000 req)";
+        let telem = "sim/paper-default poisson events (always-accept, telemetry, 20000 req)";
+
+        // 4 % overhead: within the 5 % budget.
+        let ok = synthetic(&[(plain, 100.0), (telem, 104.0)]);
+        assert!(ok.telemetry_overhead_regressions().is_empty());
+
+        // 10 % overhead: flagged, naming the plain case.
+        let slow = synthetic(&[(plain, 100.0), (telem, 110.0)]);
+        let problems = slow.telemetry_overhead_regressions();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains(plain), "{}", problems[0]);
+
+        // A marker case without its twin must fail, not pass vacuously.
+        let orphan = synthetic(&[(telem, 104.0)]);
+        assert_eq!(orphan.telemetry_overhead_regressions().len(), 1);
+
+        // No instrumented cases at all: nothing to gate.
+        let none = synthetic(&[(plain, 100.0)]);
+        assert!(none.telemetry_overhead_regressions().is_empty());
+    }
+
+    #[test]
+    fn quick_telemetry_snapshot_covers_the_suite() {
+        let (report, snapshot) = run_with_telemetry(true);
+        // One bench span per case, after the instrumented sim's own spans.
+        let bench_spans: Vec<_> = snapshot
+            .spans
+            .iter()
+            .filter(|s| s.name == "bench_case_ns")
+            .collect();
+        assert_eq!(bench_spans.len(), report.cases.len());
+        // The instrumented sim run contributes real counter series.
+        assert!(snapshot
+            .counters
+            .iter()
+            .any(|c| c.name == "sim_events_total" && c.value > 0));
+        // The exposition both parses as Prometheus text and lints clean.
+        cellsim::telemetry::lint_prometheus(&snapshot.to_prometheus())
+            .expect("perf exposition lints clean");
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //! * [`shard`] — the spatially sharded, epoch-synchronised parallel engine
 //!   for metro-scale runs (bit-identical for any shard/thread count).
 //! * [`metrics`] — acceptance/blocking/dropping statistics and time series.
+//! * [`telem`] — the telemetry schema and the feature-selected default
+//!   [`telemetry::Recorder`] (observation-only; reports are byte-identical
+//!   with telemetry on and off).
 //! * [`rng`] — small deterministic RNG helpers so every experiment is
 //!   reproducible from a seed.
 
@@ -49,7 +52,10 @@ pub mod shard;
 pub mod sim;
 pub mod slab;
 pub mod station;
+pub mod telem;
 pub mod traffic;
+
+pub use telemetry;
 
 pub use event::{Event, EventKind, EventQueue};
 pub use geometry::{CellGrid, CellId, CellIdx, Point};

@@ -71,13 +71,35 @@ pub struct UtilizationSample {
 }
 
 /// Aggregated metrics of one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Metrics {
     per_class: [ClassMetrics; 3],
     handoff_offered: u64,
     handoff_accepted: u64,
     handoff_failed: u64,
     utilization: Vec<UtilizationSample>,
+    /// Keep every `stride`-th utilisation sample (0 and 1 both mean
+    /// "keep all"). Not serialised: reports carry the samples, not the
+    /// sampling policy, so the JSON shape is unchanged.
+    #[serde(skip)]
+    util_stride: u32,
+    /// Samples *seen* (kept + skipped) since the last reset; drives the
+    /// stride phase. Not serialised for the same reason.
+    #[serde(skip)]
+    util_seen: u64,
+}
+
+/// Equality over the *observable* state (counters and kept samples) —
+/// exactly the fields that serialise — so reports round-trip through
+/// JSON regardless of the downsampler's internal bookkeeping.
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.per_class == other.per_class
+            && self.handoff_offered == other.handoff_offered
+            && self.handoff_accepted == other.handoff_accepted
+            && self.handoff_failed == other.handoff_failed
+            && self.utilization == other.utilization
+    }
 }
 
 impl Metrics {
@@ -96,6 +118,24 @@ impl Metrics {
         self.handoff_accepted = 0;
         self.handoff_failed = 0;
         self.utilization.clear();
+        self.util_stride = 0;
+        self.util_seen = 0;
+    }
+
+    /// Keep only every `stride`-th utilisation sample (systematic
+    /// downsampling; `0` and `1` both keep every sample, the historical
+    /// behaviour). Bounds `utilization_samples` growth on long
+    /// metro-scale runs: a metro sweep cell records one sample per
+    /// station per tick (2107 stations × every tick), ~56 bytes each, so
+    /// an unsampled long run grows by megabytes per simulated hour —
+    /// stride `k` divides that by `k` while keeping the mean estimate
+    /// unbiased for loads without periodicity at the stride.
+    ///
+    /// The counter phase restarts on [`Metrics::reset`]; the stride
+    /// itself is re-applied by the simulator from
+    /// [`crate::sim::SimConfig::utilization_sample_stride`].
+    pub fn set_utilization_stride(&mut self, stride: u32) {
+        self.util_stride = stride;
     }
 
     /// Record an offered request (before the admission decision).
@@ -134,8 +174,16 @@ impl Metrics {
         self.per_class[class.index()].dropped += 1;
     }
 
-    /// Record a base-station utilisation sample.
+    /// Record a base-station utilisation sample. With a configured
+    /// stride (see [`Metrics::set_utilization_stride`]) only every
+    /// `stride`-th sample is kept; the first sample after a reset is
+    /// always kept, so short runs stay fully observable.
     pub fn record_utilization(&mut self, time: SimTime, occupied: Bandwidth, capacity: Bandwidth) {
+        let seen = self.util_seen;
+        self.util_seen += 1;
+        if self.util_stride > 1 && seen % u64::from(self.util_stride) != 0 {
+            return;
+        }
         self.utilization.push(UtilizationSample {
             time,
             occupied,
@@ -267,6 +315,7 @@ impl Metrics {
         self.handoff_accepted += other.handoff_accepted;
         self.handoff_failed += other.handoff_failed;
         self.utilization.extend_from_slice(&other.utilization);
+        self.util_seen += other.util_seen;
     }
 }
 
@@ -392,6 +441,98 @@ mod tests {
         assert_eq!(m.blocking_probability(), 0.0);
         assert_eq!(m.dropping_probability(), 0.0);
         assert_eq!(m.mean_utilization(), 0.0);
+    }
+
+    /// Pin the zero-offered / degenerate-denominator contract of every
+    /// ratio accessor: a run that offered nothing (or admitted nothing,
+    /// or sampled nothing) reports exact, finite sentinel values — never
+    /// NaN or ±Inf — at both the aggregate and the per-class level.
+    #[test]
+    fn ratio_accessors_never_nan_on_empty_or_degenerate_runs() {
+        let empty = Metrics::new();
+        for value in [
+            empty.acceptance_percentage(),
+            empty.blocking_probability(),
+            empty.dropping_probability(),
+            empty.mean_utilization(),
+        ] {
+            assert!(value.is_finite(), "empty-run ratio must be finite");
+        }
+        for class in ServiceClass::ALL {
+            let c = empty.class(class);
+            assert_eq!(c.acceptance_ratio(), 1.0, "nothing offered => all accepted");
+            assert_eq!(c.blocking_ratio(), 0.0);
+            assert_eq!(c.dropping_ratio(), 0.0);
+        }
+
+        // Offered but nothing admitted: dropping ratio must stay 0/0-safe.
+        let mut blocked_only = Metrics::new();
+        blocked_only.record_offered(ServiceClass::Voice, false);
+        blocked_only.record_blocked(ServiceClass::Voice, false);
+        assert_eq!(blocked_only.acceptance_percentage(), 0.0);
+        assert_eq!(blocked_only.blocking_probability(), 1.0);
+        assert_eq!(blocked_only.dropping_probability(), 0.0);
+        assert!(blocked_only.dropping_probability().is_finite());
+
+        // Zero-capacity stations count as fully utilised, not NaN.
+        let mut degenerate = Metrics::new();
+        degenerate.record_utilization(0.0, 0, 0);
+        assert_eq!(degenerate.mean_utilization(), 1.0);
+        assert!(degenerate.mean_utilization().is_finite());
+    }
+
+    #[test]
+    fn utilization_stride_downsamples_systematically() {
+        let mut m = Metrics::new();
+        m.set_utilization_stride(3);
+        for i in 0..10 {
+            m.record_utilization(f64::from(i), u32::try_from(i).unwrap(), 40);
+        }
+        // Samples 0, 3, 6, 9 survive: the first is always kept and the
+        // stride counts *seen* samples, not kept ones.
+        let kept: Vec<u32> = m.utilization_samples().iter().map(|s| s.occupied).collect();
+        assert_eq!(kept, vec![0, 3, 6, 9]);
+
+        // Stride 0 and 1 keep everything (the historical behaviour).
+        for stride in [0, 1] {
+            let mut all = Metrics::new();
+            all.set_utilization_stride(stride);
+            for i in 0..5 {
+                all.record_utilization(f64::from(i), 1, 40);
+            }
+            assert_eq!(all.utilization_samples().len(), 5);
+        }
+    }
+
+    #[test]
+    fn utilization_stride_phase_restarts_on_reset() {
+        let mut m = Metrics::new();
+        m.set_utilization_stride(2);
+        m.record_utilization(0.0, 1, 40);
+        m.record_utilization(1.0, 2, 40);
+        m.record_utilization(2.0, 3, 40);
+        assert_eq!(m.utilization_samples().len(), 2);
+        m.reset();
+        assert_eq!(m, Metrics::new(), "reset must restore the fresh state");
+        // Stride is cleared by reset (the simulator re-applies it from
+        // its config), so recording resumes unsampled.
+        m.record_utilization(0.0, 1, 40);
+        m.record_utilization(1.0, 2, 40);
+        assert_eq!(m.utilization_samples().len(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_downsampler_bookkeeping() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.set_utilization_stride(5);
+        a.record_utilization(0.0, 4, 40);
+        b.record_utilization(0.0, 4, 40);
+        // Same kept samples, different stride/seen bookkeeping.
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a, "metrics round-trip ignores skipped fields");
     }
 
     #[test]

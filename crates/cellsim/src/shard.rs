@@ -51,11 +51,13 @@ use crate::rng::SimRng;
 use crate::sim::{AdmissionController, AdmissionDecision, AdmissionRequest, SimConfig};
 use crate::slab::{Slab, SlotId};
 use crate::station::BaseStation;
+use crate::telem::{self, DefaultRecorder};
 use crate::traffic::{CallRequest, ServiceClass, TrafficGenerator};
 use crate::{Bandwidth, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use telemetry::{Recorder, Stopwatch, TelemetrySnapshot, TraceEvent};
 
 /// A boxed admission controller that can move to a worker thread.
 pub type BoxedController = Box<dyn AdmissionController + Send>;
@@ -289,7 +291,7 @@ struct UtilAcc {
 
 /// One spatial shard: a contiguous range of cells with everything their
 /// simulation needs.
-struct Shard {
+struct Shard<R: Recorder> {
     /// Global [`CellIdx`] of the first cell in this shard.
     start: u32,
     stations: Vec<BaseStation>,
@@ -308,9 +310,15 @@ struct Shard {
     events_processed: u64,
     outbox: Vec<AdmitMsg>,
     rng: SimRng,
+    /// Wall time of this shard's last epoch loop (0 with the no-op
+    /// recorder — the disabled build makes no clock syscalls).
+    last_epoch_ns: u64,
+    /// Shard-local telemetry sink (observation-only; merged into the
+    /// coordinator's snapshot by [`ShardedSimulator::telemetry`]).
+    recorder: R,
 }
 
-impl Shard {
+impl<R: Recorder> Shard<R> {
     fn new(grid: &CellGrid, config: &SimConfig, start: u32, len: usize) -> Self {
         let stations = (start..start + len as u32)
             .map(|i| {
@@ -335,9 +343,13 @@ impl Shard {
             events_processed: 0,
             outbox: Vec::new(),
             rng: SimRng::new(config.seed).derive(0xD15C),
+            last_epoch_ns: 0,
+            recorder: R::for_schema(&telem::SCHEMA),
         }
     }
 
+    /// Re-arm for a new run. The recorder is deliberately *not* reset:
+    /// telemetry accumulates across runs like the sequential engine's.
     fn reset(&mut self, config: &SimConfig) {
         for station in &mut self.stations {
             station.reset_for_run(config.station_capacity);
@@ -357,6 +369,7 @@ impl Shard {
         self.events_processed = 0;
         self.outbox.clear();
         self.rng = SimRng::new(config.seed).derive(0xD15C);
+        self.last_epoch_ns = 0;
     }
 
     /// Earliest pending event time in this shard (arrival stream, tick
@@ -391,6 +404,7 @@ impl Shard {
         horizon: SimTime,
         epoch_end: SimTime,
     ) {
+        let watch = Stopwatch::started(R::ENABLED);
         loop {
             let arrival_time = self
                 .arrivals
@@ -415,6 +429,7 @@ impl Shard {
                 }
                 self.clock = time;
                 self.events_processed += 1;
+                self.recorder.add(telem::counter::EVENT_ARRIVAL, 1);
                 let index = self.arrivals[self.next_arrival] as usize;
                 self.next_arrival += 1;
                 let call = calls[index];
@@ -432,6 +447,7 @@ impl Shard {
                 }
                 self.clock = self.next_tick;
                 self.next_tick += self.tick_interval;
+                self.recorder.add(telem::counter::EVENT_MOBILITY_TICK, 1);
                 for (acc, station) in self.util.iter_mut().zip(&self.stations) {
                     acc.sum += station.utilization();
                     acc.samples += 1;
@@ -447,18 +463,31 @@ impl Shard {
             let event = self.queue.pop().expect("peeked above");
             self.clock = event.time;
             self.events_processed += 1;
+            if R::ENABLED {
+                // Depth *including* the popped event, as in the
+                // sequential engine.
+                let depth = self.queue.len() as u64 + 1;
+                self.recorder.observe(telem::histogram::HEAP_DEPTH, depth);
+                self.recorder.high_water(telem::gauge::HEAP_DEPTH, depth);
+            }
             match event.kind {
                 EventKind::Departure {
                     cell,
                     connection_id,
                     user,
-                } => self.handle_departure(cell, connection_id, user),
+                } => {
+                    self.recorder.add(telem::counter::EVENT_DEPARTURE, 1);
+                    self.handle_departure(cell, connection_id, user);
+                }
                 EventKind::Handoff {
                     from,
                     to,
                     connection_id,
                     user,
-                } => self.handle_handoff(from, to, connection_id, user),
+                } => {
+                    self.recorder.add(telem::counter::EVENT_HANDOFF, 1);
+                    self.handle_handoff(from, to, connection_id, user);
+                }
                 EventKind::Arrival { .. } => {
                     unreachable!("arrivals are streamed, never heap-scheduled")
                 }
@@ -467,6 +496,7 @@ impl Shard {
                 }
             }
         }
+        self.last_epoch_ns = watch.elapsed_ns().unwrap_or(0);
     }
 
     fn local(&self, cell: u32) -> usize {
@@ -511,6 +541,10 @@ impl Shard {
             return;
         }
         let slot = user.map(|user| self.users.insert(user));
+        if R::ENABLED {
+            self.recorder
+                .high_water(telem::gauge::SLAB_USERS, self.users.len() as u64);
+        }
         let departure_at = self.clock + call.holding_time;
         self.queue.schedule(
             departure_at,
@@ -549,11 +583,23 @@ impl Shard {
                 .expect("admission checked via can_fit");
             self.metrics
                 .record_accepted(request.class, request.bandwidth, request.is_handoff);
+            if R::ENABLED {
+                self.recorder.add(
+                    telem::admission_counter(request.class, true, request.is_handoff),
+                    1,
+                );
+            }
             self.controllers[local].on_admitted(request, &self.stations[local]);
             true
         } else {
             self.metrics
                 .record_blocked(request.class, request.is_handoff);
+            if R::ENABLED {
+                self.recorder.add(
+                    telem::admission_counter(request.class, false, request.is_handoff),
+                    1,
+                );
+            }
             false
         }
     }
@@ -640,11 +686,20 @@ impl Shard {
 
 /// The sharded, epoch-synchronised simulation engine.  See the module docs
 /// for the architecture and determinism contract.
-pub struct ShardedSimulator {
+///
+/// Like [`crate::sim::Simulator`], the engine is generic over its
+/// telemetry [`Recorder`] (static dispatch, defaulting to the
+/// feature-selected [`DefaultRecorder`]).
+/// Each shard carries its own recorder for the sim-level series, and the
+/// coordinator records the sharding-specific signals — per-shard epoch
+/// wall time, parallel-phase imbalance, merge-queue depth and phase
+/// spans.  Recording never touches RNG streams or event order, so
+/// reports stay bit-identical whichever recorder is plugged in.
+pub struct ShardedSimulator<R: Recorder = DefaultRecorder> {
     config: SimConfig,
     sharding: ShardConfig,
     grid: CellGrid,
-    shards: Vec<Shard>,
+    shards: Vec<Shard<R>>,
     /// First global cell index of each shard, ascending.
     starts: Vec<u32>,
     /// Global pre-generated arrival buffer (reused across runs).
@@ -656,14 +711,32 @@ pub struct ShardedSimulator {
     epochs: u64,
     peak_concurrent: u64,
     label: &'static str,
+    /// Coordinator telemetry sink for the sharding-specific series
+    /// (observation-only; accumulates across runs until
+    /// [`ShardedSimulator::reset_telemetry`]).
+    recorder: R,
 }
 
 impl ShardedSimulator {
-    /// Build a sharded simulator.  `sharding.shards` is clamped to the
-    /// number of grid cells and `sharding.epoch_s` to a finite positive
-    /// value ([`DEFAULT_EPOCH_S`] otherwise).
+    /// Build a sharded simulator with the feature-selected
+    /// [`DefaultRecorder`] (the zero-cost
+    /// no-op recorder unless the `telemetry` cargo feature is enabled).
+    /// `sharding.shards` is clamped to the number of grid cells and
+    /// `sharding.epoch_s` to a finite positive value ([`DEFAULT_EPOCH_S`]
+    /// otherwise).
     #[must_use]
     pub fn new(config: SimConfig, sharding: ShardConfig) -> Self {
+        Self::with_telemetry(config, sharding)
+    }
+}
+
+impl<R: Recorder> ShardedSimulator<R> {
+    /// Build a sharded simulator with an explicit recorder type, e.g.
+    /// `ShardedSimulator::<telemetry::Registry>::with_telemetry(..)` to
+    /// instrument a run in a build where the default recorder is the
+    /// no-op.  Clamps `sharding` exactly like [`ShardedSimulator::new`].
+    #[must_use]
+    pub fn with_telemetry(config: SimConfig, sharding: ShardConfig) -> Self {
         let grid = CellGrid::new(config.grid_radius_cells, config.cell_radius_m);
         let cells = grid.len();
         let epoch_s = if sharding.epoch_s.is_finite() && sharding.epoch_s > 0.0 {
@@ -700,6 +773,29 @@ impl ShardedSimulator {
             epochs: 0,
             peak_concurrent: 0,
             label: "controller",
+            recorder: R::for_schema(&telem::SCHEMA),
+        }
+    }
+
+    /// Snapshot of everything the coordinator *and* every shard recorded
+    /// so far, merged in shard order.  Telemetry accumulates across runs;
+    /// use [`ShardedSimulator::reset_telemetry`] to start a fresh window.
+    /// Always empty with the no-op recorder.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snapshot = self.recorder.snapshot();
+        for shard in &self.shards {
+            snapshot.merge(&shard.recorder.snapshot());
+        }
+        snapshot
+    }
+
+    /// Clear everything the coordinator and shard recorders collected
+    /// (capacity is retained).
+    pub fn reset_telemetry(&mut self) {
+        self.recorder.reset();
+        for shard in &mut self.shards {
+            shard.recorder.reset();
         }
     }
 
@@ -768,7 +864,10 @@ impl ShardedSimulator {
         &mut self,
         factory: &mut dyn FnMut() -> BoxedController,
         total_requests: usize,
-    ) -> ShardReport {
+    ) -> ShardReport
+    where
+        R: Send,
+    {
         self.reset_run(factory);
 
         // Global arrival stream + spawn-cell assignment, both drawn from
@@ -813,13 +912,53 @@ impl ShardedSimulator {
             // quiet stretches (e.g. the departure tail after the last
             // arrival) cost no empty barriers.
             let epoch_end = self.sharding.epoch_s * ((t_min / self.sharding.epoch_s).floor() + 1.0);
+            let parallel_watch = Stopwatch::started(R::ENABLED);
             self.run_phase(epoch_end, horizon);
-            self.merge_epoch(epoch_end);
+            if let Some(ns) = parallel_watch.elapsed_ns() {
+                self.recorder.span_ns(telem::span::SHARD_PARALLEL_PHASE, ns);
+            }
+            if R::ENABLED {
+                self.observe_epoch_balance();
+            }
+            let merge_watch = Stopwatch::started(R::ENABLED);
+            let merge_depth = self.merge_epoch(epoch_end);
+            if let Some(ns) = merge_watch.elapsed_ns() {
+                self.recorder.span_ns(telem::span::SHARD_MERGE_PHASE, ns);
+            }
             self.epochs += 1;
             let active: u64 = self.shards.iter().map(Shard::active_connections).sum();
             self.peak_concurrent = self.peak_concurrent.max(active);
+            if R::ENABLED {
+                self.recorder
+                    .high_water(telem::gauge::SHARD_CONCURRENT_USERS, active);
+                self.recorder.trace(TraceEvent {
+                    time_s: epoch_end,
+                    kind: telem::TRACE_EPOCH,
+                    value: merge_depth,
+                });
+            }
         }
         self.build_report()
+    }
+
+    /// Per-epoch load-balance signals: one `shard_epoch_ns` observation
+    /// per shard, plus the slowest-over-mean imbalance ratio in permille
+    /// (1000 = perfectly balanced) — the inputs a future work-stealing
+    /// scheduler or epoch auto-tuner would steer on.
+    fn observe_epoch_balance(&mut self) {
+        let mut max_ns = 0u64;
+        let mut sum_ns = 0u64;
+        for shard in &self.shards {
+            let ns = shard.last_epoch_ns;
+            self.recorder.observe(telem::histogram::SHARD_EPOCH_NS, ns);
+            max_ns = max_ns.max(ns);
+            sum_ns += ns;
+        }
+        let mean = sum_ns / self.shards.len().max(1) as u64;
+        if let Some(permille) = max_ns.saturating_mul(1000).checked_div(mean) {
+            self.recorder
+                .observe(telem::histogram::EPOCH_IMBALANCE_PERMILLE, permille);
+        }
     }
 
     /// Parallel phase: every shard independently runs its event loop up to
@@ -828,7 +967,10 @@ impl ShardedSimulator {
     /// oversubscribed workers only add context-switch overhead per epoch
     /// (measured ~17 % at 4 threads on 1 core) — and chunking affects
     /// wall-clock only, never results.
-    fn run_phase(&mut self, epoch_end: SimTime, horizon: SimTime) {
+    fn run_phase(&mut self, epoch_end: SimTime, horizon: SimTime)
+    where
+        R: Send,
+    {
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let workers = self
             .sharding
@@ -860,8 +1002,9 @@ impl ShardedSimulator {
     /// Barrier phase: merge every shard's handoff messages into one queue
     /// ordered by [`MergeKey`] and replay it sequentially, folding in
     /// cascaded handoffs and pre-boundary departures as they are
-    /// discovered.
-    fn merge_epoch(&mut self, epoch_end: SimTime) {
+    /// discovered.  Returns the merge-queue depth at the start of the
+    /// barrier (carried-over entries plus this epoch's outboxes).
+    fn merge_epoch(&mut self, epoch_end: SimTime) -> u64 {
         let mut heap = std::mem::take(&mut self.merge_heap);
         for shard in &mut self.shards {
             for msg in shard.outbox.drain(..) {
@@ -871,17 +1014,26 @@ impl ShardedSimulator {
                 });
             }
         }
+        let initial_depth = heap.len() as u64;
+        if R::ENABLED {
+            self.recorder
+                .observe(telem::histogram::MERGE_QUEUE_DEPTH, initial_depth);
+        }
         while let Some(entry) = heap.pop() {
             self.merge_events += 1;
             let time = entry.key.time;
             match entry.task {
-                MergeTask::Admit(msg) => self.apply_admit(msg, epoch_end, &mut heap),
+                MergeTask::Admit(msg) => {
+                    self.recorder.add(telem::counter::MERGE_ADMIT, 1);
+                    self.apply_admit(msg, epoch_end, &mut heap);
+                }
                 MergeTask::Handoff {
                     from,
                     to,
                     connection_id,
                     slot,
                 } => {
+                    self.recorder.add(telem::counter::MERGE_HANDOFF, 1);
                     let s = self.shard_of(from);
                     let shard = &mut self.shards[s];
                     let local = shard.local(from);
@@ -912,6 +1064,7 @@ impl ShardedSimulator {
                     connection_id,
                     slot,
                 } => {
+                    self.recorder.add(telem::counter::MERGE_RELEASE, 1);
                     let s = self.shard_of(cell);
                     let shard = &mut self.shards[s];
                     let local = shard.local(cell);
@@ -924,6 +1077,7 @@ impl ShardedSimulator {
             }
         }
         self.merge_heap = heap;
+        initial_depth
     }
 
     /// Target side of a handoff, mirroring `Simulator::handle_handoff`
@@ -977,6 +1131,11 @@ impl ShardedSimulator {
             shard
                 .metrics
                 .record_accepted(msg.class, msg.bandwidth, true);
+            if R::ENABLED {
+                self.recorder
+                    .add(telem::admission_counter(msg.class, true, true), 1);
+            }
+            let shard = &mut self.shards[s];
             shard.controllers[local].on_admitted(&request, &shard.stations[local]);
             let slot = shard.users.insert(msg.user);
             let departure_at = msg.ends_at;
@@ -1033,6 +1192,10 @@ impl ShardedSimulator {
         } else {
             shard.metrics.record_blocked(msg.class, true);
             shard.metrics.record_dropped(msg.class);
+            if R::ENABLED {
+                self.recorder
+                    .add(telem::admission_counter(msg.class, false, true), 1);
+            }
         }
     }
 

@@ -19,9 +19,11 @@ use crate::mobility::{spawn_uniform, MobilityModel, UserState};
 use crate::rng::SimRng;
 use crate::slab::{Slab, SlotId};
 use crate::station::{ActiveConnection, BaseStation};
+use crate::telem::{self, DefaultRecorder};
 use crate::traffic::{CallRequest, ServiceClass, TrafficConfig, TrafficGenerator};
 use crate::{Bandwidth, SimTime};
 use serde::{Deserialize, Serialize};
+use telemetry::{Recorder, Stopwatch, TelemetrySnapshot};
 
 /// Everything an admission controller may inspect about a request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -261,6 +263,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Interval between utilisation samples (seconds); 0 disables sampling.
     pub utilization_sample_interval_s: f64,
+    /// Keep only every `stride`-th utilisation sample (0 and 1 both keep
+    /// all — the historical behaviour); bounds sample-series memory on
+    /// long metro-scale runs (see [`Metrics::set_utilization_stride`]).
+    pub utilization_sample_stride: u32,
 }
 
 impl SimConfig {
@@ -276,6 +282,7 @@ impl SimConfig {
             mobility: MobilityModel::paper_default(),
             seed: 0xFAC5,
             utilization_sample_interval_s: 0.0,
+            utilization_sample_stride: 1,
         }
     }
 
@@ -326,6 +333,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_utilization_sampling(mut self, interval_s: f64) -> Self {
         self.utilization_sample_interval_s = interval_s.max(0.0);
+        self
+    }
+
+    /// Keep only every `stride`-th utilisation sample (0 and 1 both keep
+    /// every sample).
+    #[must_use]
+    pub fn with_utilization_stride(mut self, stride: u32) -> Self {
+        self.utilization_sample_stride = stride;
         self
     }
 }
@@ -382,7 +397,15 @@ impl SimReport {
 /// scratch reused across runs.  A warmed-up simulator therefore runs its
 /// event loop without heap allocation, and [`Simulator::reset`] recycles
 /// the whole machine for the next sweep cell.
-pub struct Simulator {
+///
+/// The simulator is generic over its telemetry [`Recorder`] (static
+/// dispatch, defaulting to the feature-selected
+/// [`DefaultRecorder`]): with the no-op
+/// recorder every instrumentation call compiles to nothing, and with
+/// [`telemetry::Registry`] the run is observable without perturbing it —
+/// recording never touches the RNG streams or the event order, so reports
+/// are byte-identical whichever recorder is plugged in.
+pub struct Simulator<R: Recorder = DefaultRecorder> {
     config: SimConfig,
     grid: CellGrid,
     /// One station per grid cell, indexed by `CellIdx` (grid order).
@@ -400,26 +423,45 @@ pub struct Simulator {
     arrivals: Vec<CallRequest>,
     /// Reused scratch for expired-connection batches.
     expired: Vec<ActiveConnection>,
+    /// Telemetry sink (observation-only; accumulates across runs and
+    /// [`Simulator::reset`]s until [`Simulator::reset_telemetry`]).
+    recorder: R,
 }
 
 impl Simulator {
-    /// Build a simulator from a configuration.
+    /// Build a simulator from a configuration, using the feature-selected
+    /// [`DefaultRecorder`] (the zero-cost
+    /// no-op recorder unless the `telemetry` cargo feature is enabled).
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
+        Self::with_telemetry(config)
+    }
+}
+
+impl<R: Recorder> Simulator<R> {
+    /// Build a simulator with an explicit recorder type, e.g.
+    /// `Simulator::<telemetry::Registry>::with_telemetry(config)` to
+    /// instrument a run in a build where the default recorder is the
+    /// no-op.
+    #[must_use]
+    pub fn with_telemetry(config: SimConfig) -> Self {
         let grid = CellGrid::new(config.grid_radius_cells, config.cell_radius_m);
         let stations = Self::build_stations(&grid, config.station_capacity);
         let rng = SimRng::new(config.seed).derive(0xD15C);
+        let mut metrics = Metrics::new();
+        metrics.set_utilization_stride(config.utilization_sample_stride);
         Self {
             grid,
             stations,
             users: Slab::new(),
             queue: EventQueue::new(),
-            metrics: Metrics::new(),
+            metrics,
             clock: 0.0,
             rng,
             events_processed: 0,
             arrivals: Vec::new(),
             expired: Vec::new(),
+            recorder: R::for_schema(&telem::SCHEMA),
             config,
         }
     }
@@ -457,6 +499,8 @@ impl Simulator {
         self.users.clear();
         self.queue.clear();
         self.metrics.reset();
+        self.metrics
+            .set_utilization_stride(config.utilization_sample_stride);
         self.clock = 0.0;
         self.rng = SimRng::new(config.seed).derive(0xD15C);
         self.events_processed = 0;
@@ -509,11 +553,31 @@ impl Simulator {
         &self.metrics
     }
 
+    /// Snapshot of everything the telemetry recorder collected so far.
+    /// Telemetry accumulates across runs and [`Simulator::reset`]s (so a
+    /// sweep worker's simulator aggregates all its cells); use
+    /// [`Simulator::reset_telemetry`] to start a fresh window. Always
+    /// empty with the no-op recorder.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.recorder.snapshot()
+    }
+
+    /// Clear everything the telemetry recorder collected (capacity is
+    /// retained).
+    pub fn reset_telemetry(&mut self) {
+        self.recorder.reset();
+    }
+
     /// Build the run's report by *taking* the accumulated metrics (the
     /// accumulator is left empty for the next run; no clone of the sample
     /// series is made).
     fn take_report(&mut self, controller: &'static str) -> SimReport {
         let metrics = std::mem::take(&mut self.metrics);
+        // `take` left a default accumulator; re-arm the configured
+        // utilisation stride for the next run.
+        self.metrics
+            .set_utilization_stride(self.config.utilization_sample_stride);
         SimReport::from_metrics(controller, metrics)
     }
 
@@ -534,12 +598,16 @@ impl Simulator {
         controller: &mut C,
         n: usize,
     ) -> SimReport {
+        let watch = Stopwatch::started(R::ENABLED);
         let mut generator =
             TrafficGenerator::new(self.config.traffic.clone(), self.rng.derive(1).seed());
         let mut requests = std::mem::take(&mut self.arrivals);
         generator.generate_batch_into(n, &mut requests);
         self.offer_requests(controller, &requests);
         self.arrivals = requests;
+        if let Some(ns) = watch.elapsed_ns() {
+            self.recorder.span_ns(telem::span::RUN_BATCH, ns);
+        }
         self.take_report(controller.name())
     }
 
@@ -636,6 +704,7 @@ impl Simulator {
         controller: &mut C,
         total_requests: usize,
     ) -> SimReport {
+        let watch = Stopwatch::started(R::ENABLED);
         let mut generator =
             TrafficGenerator::new(self.config.traffic.clone(), self.rng.derive(2).seed());
         let mut arrivals = std::mem::take(&mut self.arrivals);
@@ -680,6 +749,7 @@ impl Simulator {
                 self.events_processed += 1;
                 let call = arrivals[next_arrival];
                 next_arrival += 1;
+                self.recorder.add(telem::counter::EVENT_ARRIVAL, 1);
                 let cell = if single_cell {
                     origin
                 } else {
@@ -696,6 +766,7 @@ impl Simulator {
                 self.clock = next_tick;
                 self.events_processed += 1;
                 next_tick += tick_interval;
+                self.recorder.add(telem::counter::EVENT_MOBILITY_TICK, 1);
                 // Stations are stored in grid order, so the dense walk is
                 // deterministic by construction — no iteration-order
                 // workaround needed.
@@ -713,6 +784,13 @@ impl Simulator {
             };
             self.clock = event.time;
             self.events_processed += 1;
+            if R::ENABLED {
+                // Depth *including* the popped event; gated so the
+                // disabled build computes nothing here.
+                let depth = self.queue.len() as u64 + 1;
+                self.recorder.observe(telem::histogram::HEAP_DEPTH, depth);
+                self.recorder.high_water(telem::gauge::HEAP_DEPTH, depth);
+            }
             match event.kind {
                 EventKind::Arrival { .. } => {
                     // Arrivals stream from the sorted buffer above and the
@@ -727,6 +805,7 @@ impl Simulator {
                     connection_id,
                     user,
                 } => {
+                    self.recorder.add(telem::counter::EVENT_DEPARTURE, 1);
                     self.handle_departure(controller, cell, connection_id, user);
                 }
                 EventKind::Handoff {
@@ -735,6 +814,7 @@ impl Simulator {
                     connection_id,
                     user,
                 } => {
+                    self.recorder.add(telem::counter::EVENT_HANDOFF, 1);
                     self.handle_handoff(controller, from, to, connection_id, user);
                 }
                 EventKind::MobilityTick => {
@@ -750,6 +830,9 @@ impl Simulator {
             }
         }
         self.arrivals = arrivals;
+        if let Some(ns) = watch.elapsed_ns() {
+            self.recorder.span_ns(telem::span::RUN_POISSON, ns);
+        }
         self.take_report(controller.name())
     }
 
@@ -781,10 +864,22 @@ impl Simulator {
                 .expect("admission checked via can_fit");
             self.metrics
                 .record_accepted(request.class, request.bandwidth, request.is_handoff);
+            if R::ENABLED {
+                self.recorder.add(
+                    telem::admission_counter(request.class, true, request.is_handoff),
+                    1,
+                );
+            }
             controller.on_admitted(request, &self.stations[cell.index()]);
         } else {
             self.metrics
                 .record_blocked(request.class, request.is_handoff);
+            if R::ENABLED {
+                self.recorder.add(
+                    telem::admission_counter(request.class, false, request.is_handoff),
+                    1,
+                );
+            }
         }
     }
 
@@ -859,6 +954,10 @@ impl Simulator {
         // handoffs to predict, so the slot stays `None` and the slab is
         // never touched.
         let slot = user.map(|user| self.users.insert(user));
+        if R::ENABLED {
+            self.recorder
+                .high_water(telem::gauge::SLAB_USERS, self.users.len() as u64);
+        }
         // Schedule the departure, and a handoff if the user exits the cell
         // before the call completes.
         let departure_at = self.clock + call.holding_time;
@@ -984,6 +1083,10 @@ impl Simulator {
                 .expect("admission checked via can_fit");
             self.metrics
                 .record_accepted(request.class, request.bandwidth, true);
+            if R::ENABLED {
+                self.recorder
+                    .add(telem::admission_counter(request.class, true, true), 1);
+            }
             controller.on_admitted(&request, &self.stations[to.index()]);
             // Departure is rescheduled in the new cell; the old departure
             // event will find the connection gone and become a no-op.
@@ -1001,6 +1104,10 @@ impl Simulator {
             // violation the paper's controllers are designed to avoid.
             self.metrics.record_blocked(request.class, true);
             self.metrics.record_dropped(request.class);
+            if R::ENABLED {
+                self.recorder
+                    .add(telem::admission_counter(request.class, false, true), 1);
+            }
             self.users.remove(slot);
         }
     }

@@ -1,0 +1,237 @@
+//! Property-based tests for the metric merge algebra.
+//!
+//! The sweep and shard engines both rely on partial aggregates combining
+//! into the same result as one sequential pass: [`Metrics::merge`] folds
+//! per-shard counters, and [`StatAccumulator::merge`] (Chan et al.'s
+//! parallel Welford update) folds per-worker replication statistics.
+//! These tests pin the algebraic laws that make that sound: identity,
+//! associativity (exact), and commutativity of every order-insensitive
+//! component (counters exactly, float moments up to tolerance).
+
+use cellsim::metrics::{Metrics, StatAccumulator};
+use cellsim::traffic::ServiceClass;
+use proptest::prelude::*;
+
+/// One recorded simulation outcome, drawn from the op strategy below.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Offered {
+        class: usize,
+        handoff: bool,
+    },
+    Accepted {
+        class: usize,
+        bw: u32,
+        handoff: bool,
+    },
+    Blocked {
+        class: usize,
+        handoff: bool,
+    },
+    Completed {
+        class: usize,
+    },
+    Dropped {
+        class: usize,
+    },
+    Utilization {
+        occupied: u32,
+        capacity: u32,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, any::<bool>()).prop_map(|(class, handoff)| Op::Offered { class, handoff }),
+        (0usize..3, 1u32..12, any::<bool>()).prop_map(|(class, bw, handoff)| Op::Accepted {
+            class,
+            bw,
+            handoff
+        }),
+        (0usize..3, any::<bool>()).prop_map(|(class, handoff)| Op::Blocked { class, handoff }),
+        (0usize..3).prop_map(|class| Op::Completed { class }),
+        (0usize..3).prop_map(|class| Op::Dropped { class }),
+        (0u32..40, 1u32..40)
+            .prop_map(|(occupied, capacity)| Op::Utilization { occupied, capacity }),
+    ]
+}
+
+fn build(ops: &[Op]) -> Metrics {
+    let mut m = Metrics::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Offered { class, handoff } => m.record_offered(ServiceClass::ALL[class], handoff),
+            Op::Accepted { class, bw, handoff } => {
+                m.record_accepted(ServiceClass::ALL[class], bw, handoff);
+            }
+            Op::Blocked { class, handoff } => m.record_blocked(ServiceClass::ALL[class], handoff),
+            Op::Completed { class } => m.record_completed(ServiceClass::ALL[class]),
+            Op::Dropped { class } => m.record_dropped(ServiceClass::ALL[class]),
+            Op::Utilization { occupied, capacity } => {
+                m.record_utilization(i as f64, occupied.min(capacity), capacity);
+            }
+        }
+    }
+    m
+}
+
+fn merged(a: &Metrics, b: &Metrics) -> Metrics {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// The order-insensitive face of a [`Metrics`]: every counter, plus the
+/// utilisation mean/sample-count (the per-sample time series is ordered
+/// by construction, so commutativity is only expected of the aggregate).
+fn counter_fingerprint(m: &Metrics) -> (Vec<u64>, (u64, u64, u64), usize) {
+    let per_class = ServiceClass::ALL
+        .iter()
+        .flat_map(|&c| {
+            let cm = m.class(c);
+            [
+                cm.offered,
+                cm.accepted,
+                cm.blocked,
+                cm.dropped,
+                cm.completed,
+                cm.bandwidth_admitted,
+            ]
+        })
+        .collect();
+    (per_class, m.handoffs(), m.utilization_samples().len())
+}
+
+fn accumulate(values: &[f64]) -> StatAccumulator {
+    let mut acc = StatAccumulator::new();
+    for &v in values {
+        acc.push(v);
+    }
+    acc
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_merge_identity(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let m = build(&ops);
+        prop_assert_eq!(merged(&m, &Metrics::new()), m.clone());
+        prop_assert_eq!(merged(&Metrics::new(), &m), m);
+    }
+
+    #[test]
+    fn metrics_merge_is_associative(
+        a in prop::collection::vec(op_strategy(), 0..40),
+        b in prop::collection::vec(op_strategy(), 0..40),
+        c in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        let (a, b, c) = (build(&a), build(&b), build(&c));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn metrics_merge_counters_are_commutative(
+        a in prop::collection::vec(op_strategy(), 0..40),
+        b in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        let (a, b) = (build(&a), build(&b));
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(counter_fingerprint(&ab), counter_fingerprint(&ba));
+        // The utilisation time series concatenates in merge order, so only
+        // its aggregate is order-free (same samples, reduced in a
+        // different order ⇒ float tolerance).
+        prop_assert!(close(ab.mean_utilization(), ba.mean_utilization()));
+    }
+
+    #[test]
+    fn metrics_merge_equals_sequential_recording(
+        a in prop::collection::vec(op_strategy(), 0..40),
+        b in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        // Two partial aggregates merge to the same counters as one pass
+        // over the concatenated op stream.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let whole = build(&all);
+        let parts = merged(&build(&a), &build(&b));
+        prop_assert_eq!(counter_fingerprint(&parts).0, counter_fingerprint(&whole).0);
+        prop_assert_eq!(parts.handoffs(), whole.handoffs());
+        prop_assert_eq!(
+            parts.utilization_samples().len(),
+            whole.utilization_samples().len()
+        );
+    }
+
+    #[test]
+    fn stat_accumulator_merge_identity(
+        values in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let acc = accumulate(&values);
+        let mut left = acc;
+        left.merge(&StatAccumulator::new());
+        prop_assert_eq!(left, acc);
+        let mut right = StatAccumulator::new();
+        right.merge(&acc);
+        prop_assert_eq!(right, acc);
+    }
+
+    #[test]
+    fn stat_accumulator_merge_is_commutative_up_to_tolerance(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let (a, b) = (accumulate(&a), accumulate(&b));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!(close(ab.mean(), ba.mean()), "mean {} vs {}", ab.mean(), ba.mean());
+        prop_assert!(
+            close(ab.std_dev(), ba.std_dev()),
+            "std_dev {} vs {}",
+            ab.std_dev(),
+            ba.std_dev()
+        );
+    }
+
+    #[test]
+    fn stat_accumulator_merge_is_associative_up_to_tolerance(
+        a in prop::collection::vec(-1e3f64..1e3, 0..30),
+        b in prop::collection::vec(-1e3f64..1e3, 0..30),
+        c in prop::collection::vec(-1e3f64..1e3, 0..30),
+    ) {
+        let (a, b, c) = (accumulate(&a), accumulate(&b), accumulate(&c));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!(close(left.mean(), right.mean()));
+        prop_assert!(close(left.std_dev(), right.std_dev()));
+    }
+
+    #[test]
+    fn stat_accumulator_merge_matches_sequential_push(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let whole = accumulate(&all);
+        let mut parts = accumulate(&a);
+        parts.merge(&accumulate(&b));
+        prop_assert_eq!(parts.count(), whole.count());
+        prop_assert!(close(parts.mean(), whole.mean()));
+        prop_assert!(close(parts.std_dev(), whole.std_dev()));
+    }
+}

@@ -1,0 +1,137 @@
+//! Telemetry must be observation-only: reports are **byte-identical**
+//! with the recorder on and off, in either cargo feature mode.
+//!
+//! Both recorder types are always available (the `telemetry` feature only
+//! selects which one `Simulator::new` defaults to), so this test pins the
+//! contract from a single binary by instantiating the engines with each
+//! recorder explicitly and comparing their serialised reports.
+
+use cellsim::shard::{BoxedController, ShardConfig, ShardedSimulator};
+use cellsim::sim::{AlwaysAccept, SimConfig, Simulator};
+use cellsim::telemetry::{NoopRecorder, Registry};
+use cellsim::traffic::TrafficConfig;
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig::paper_default()
+        .with_seed(seed)
+        .with_grid_radius(2)
+        .with_cell_radius(300.0)
+        .with_traffic(TrafficConfig {
+            mean_interarrival_s: 1.0,
+            mean_holding_s: 300.0,
+            min_speed_kmh: 60.0,
+            max_speed_kmh: 120.0,
+            ..TrafficConfig::paper_default()
+        })
+        .with_utilization_sampling(60.0)
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("report serialises")
+}
+
+#[test]
+fn sequential_reports_are_byte_identical_with_telemetry_on_and_off() {
+    let cfg = config(0x7E1E);
+
+    let mut noop = Simulator::<NoopRecorder>::with_telemetry(cfg.clone());
+    let mut instrumented = Simulator::<Registry>::with_telemetry(cfg.clone());
+    let mut default = Simulator::new(cfg);
+
+    let report_noop = noop.run_poisson(&mut AlwaysAccept, 2000);
+    let report_instr = instrumented.run_poisson(&mut AlwaysAccept, 2000);
+    let report_default = default.run_poisson(&mut AlwaysAccept, 2000);
+
+    assert_eq!(json(&report_noop), json(&report_instr));
+    assert_eq!(json(&report_noop), json(&report_default));
+
+    assert!(
+        noop.telemetry().is_empty(),
+        "no-op recorder records nothing"
+    );
+    let snapshot = instrumented.telemetry();
+    assert!(
+        !snapshot.is_empty(),
+        "instrumented run must produce telemetry"
+    );
+    assert!(
+        snapshot
+            .counters
+            .iter()
+            .any(|c| c.name == "sim_events_total" && c.value > 0),
+        "event counters must be populated"
+    );
+}
+
+#[test]
+fn sharded_reports_are_byte_identical_with_telemetry_on_and_off() {
+    let cfg = config(0xBEEF);
+    let sharding = ShardConfig::new(4).with_threads(2);
+    let mut factory: Box<dyn FnMut() -> BoxedController> = Box::new(|| Box::new(AlwaysAccept));
+
+    let mut noop = ShardedSimulator::<NoopRecorder>::with_telemetry(cfg.clone(), sharding);
+    let mut instrumented = ShardedSimulator::<Registry>::with_telemetry(cfg.clone(), sharding);
+    let mut default = ShardedSimulator::new(cfg, sharding);
+
+    let report_noop = noop.run_poisson(&mut factory, 2000);
+    let report_instr = instrumented.run_poisson(&mut factory, 2000);
+    let report_default = default.run_poisson(&mut factory, 2000);
+
+    assert_eq!(json(&report_noop), json(&report_instr));
+    assert_eq!(json(&report_noop), json(&report_default));
+
+    assert!(
+        noop.telemetry().is_empty(),
+        "no-op recorder records nothing"
+    );
+    let snapshot = instrumented.telemetry();
+    assert!(
+        snapshot
+            .histograms
+            .iter()
+            .any(|h| h.name == "shard_epoch_ns" && h.count > 0),
+        "per-epoch shard timing must be populated"
+    );
+    assert!(
+        snapshot
+            .counters
+            .iter()
+            .any(|c| c.name == "shard_merge_tasks_total" && c.value > 0),
+        "barrier merges must be counted"
+    );
+}
+
+/// Telemetry accumulates across runs; `reset_telemetry` starts a fresh
+/// window without perturbing the next run's report.
+#[test]
+fn reset_telemetry_clears_the_window_and_keeps_reports_identical() {
+    let cfg = config(0x5EED);
+    let mut sim = Simulator::<Registry>::with_telemetry(cfg.clone());
+    let first = sim.run_poisson(&mut AlwaysAccept, 500);
+    assert!(sim.telemetry().counters.iter().any(|c| c.value > 0));
+    sim.reset(cfg);
+    sim.reset_telemetry();
+    // The registry still exposes every schema-defined series (zero-valued
+    // series are part of the exposition), but all values are cleared.
+    let cleared = sim.telemetry();
+    assert!(cleared.counters.iter().all(|c| c.value == 0));
+    assert!(cleared.histograms.iter().all(|h| h.count == 0));
+    assert!(cleared.gauges.iter().all(|g| g.value == 0));
+    assert!(cleared.spans.iter().all(|s| s.count == 0));
+    assert!(cleared.traces.is_empty());
+    let second = sim.run_poisson(&mut AlwaysAccept, 500);
+    assert_eq!(json(&first), json(&second));
+    assert!(sim.telemetry().counters.iter().any(|c| c.value > 0));
+}
+
+/// The whole-stack exposition (sim + shard series) must parse as valid
+/// Prometheus text.
+#[test]
+fn exposition_of_a_real_run_lints_clean() {
+    let cfg = config(0xFACE);
+    let mut factory: Box<dyn FnMut() -> BoxedController> = Box::new(|| Box::new(AlwaysAccept));
+    let mut sim = ShardedSimulator::<Registry>::with_telemetry(cfg, ShardConfig::new(3));
+    sim.run_poisson(&mut factory, 1000);
+    let text = sim.telemetry().to_prometheus();
+    cellsim::telemetry::lint_prometheus(&text).expect("exposition must lint clean");
+}

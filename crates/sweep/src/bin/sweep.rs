@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! sweep --scenario paper-default [--quick] [--threads N] [--seed N]
-//!       [--json PATH] [--csv PATH]
+//!       [--json PATH] [--csv PATH] [--telemetry PATH] [--quiet]
 //! sweep --spec experiment.json          # load a ScenarioSpec from JSON
 //! sweep --all --quick                   # every built-in scenario
 //! sweep --list                          # list built-in scenario names
 //! sweep --print-spec highway-handoff    # dump a spec as editable JSON
 //! ```
+//!
+//! `--telemetry PATH` runs the grid with the instrumented recorder and
+//! writes the merged telemetry snapshot — Prometheus text exposition when
+//! the path ends in `.prom`, JSON otherwise.  Reports are byte-identical
+//! with and without it.  A live progress line (cells done, cells/s, ETA)
+//! is written to stderr when it is a terminal; `--quiet` suppresses it.
 
+use std::io::IsTerminal;
+use std::io::Write;
 use std::process::ExitCode;
-use sweep::{builtin, builtin_names, RunReport, ScenarioSpec, SweepRunner};
+use sweep::{builtin, builtin_names, RunReport, ScenarioSpec, SweepProgress, SweepRunner};
 
 struct Args {
     scenario: Option<String>,
@@ -24,11 +32,14 @@ struct Args {
     seed: Option<u64>,
     json: Option<String>,
     csv: Option<String>,
+    telemetry: Option<String>,
+    quiet: bool,
 }
 
 fn usage() -> &'static str {
     "usage: sweep (--scenario NAME | --spec PATH.json | --all | --list | --print-spec NAME)\n\
      \x20      [--quick] [--threads N] [--seed N] [--json PATH] [--csv PATH]\n\
+     \x20      [--telemetry PATH(.prom|.json)] [--quiet]\n\
      built-in scenarios: paper-default, highway-handoff, downtown-hotspot, \
      flash-crowd, mixed-multimedia, metro"
 }
@@ -46,6 +57,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: None,
         json: None,
         csv: None,
+        telemetry: None,
+        quiet: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -77,6 +90,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--json" => args.json = Some(value("--json")?),
             "--csv" => args.csv = Some(value("--csv")?),
+            "--telemetry" => args.telemetry = Some(value("--telemetry")?),
+            "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 args.help = true;
                 return Ok(args);
@@ -173,8 +188,37 @@ fn run() -> Result<(), String> {
         Some(n) => SweepRunner::with_threads(n),
         None => SweepRunner::new(),
     };
+    let show_progress = !args.quiet && std::io::stderr().is_terminal();
+    let progress = |p: SweepProgress| {
+        let eta = match p.eta_s() {
+            Some(eta) => format!("{eta:.0}s"),
+            None => "?".to_string(),
+        };
+        eprint!(
+            "\r{}/{} cells  {:.1} cells/s  ETA {eta}   ",
+            p.done,
+            p.total,
+            p.cells_per_sec()
+        );
+        let _ = std::io::stderr().flush();
+    };
     for spec in &specs {
-        let report: RunReport = runner.run(spec).map_err(|e| e.to_string())?;
+        let (report, telemetry): (RunReport, _) = if args.telemetry.is_some() {
+            let (report, snapshot) = runner
+                .run_instrumented(spec, show_progress.then_some(&progress as _))
+                .map_err(|e| e.to_string())?;
+            (report, Some(snapshot))
+        } else if show_progress {
+            let report = runner
+                .run_with_progress(spec, &progress)
+                .map_err(|e| e.to_string())?;
+            (report, None)
+        } else {
+            (runner.run(spec).map_err(|e| e.to_string())?, None)
+        };
+        if show_progress {
+            eprintln!();
+        }
         if report.is_empty() {
             return Err(format!("scenario `{}` produced an empty report", spec.name));
         }
@@ -184,6 +228,15 @@ fn run() -> Result<(), String> {
         }
         if let Some(path) = &args.csv {
             write_or_die(&output_path(path, &spec.name, many), &report.to_csv())?;
+        }
+        if let (Some(path), Some(snapshot)) = (&args.telemetry, &telemetry) {
+            let path = output_path(path, &spec.name, many);
+            let text = if path.ends_with(".prom") {
+                snapshot.to_prometheus()
+            } else {
+                snapshot.to_json()
+            };
+            write_or_die(&path, &text)?;
         }
     }
     Ok(())
@@ -230,5 +283,23 @@ mod tests {
         let args = parse_args(&["--help".to_string()]).unwrap();
         assert!(args.help);
         assert!(parse_args(&["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn telemetry_and_quiet_flags_parse() {
+        let argv: Vec<String> = [
+            "--scenario",
+            "paper-default",
+            "--telemetry",
+            "t.prom",
+            "--quiet",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let args = parse_args(&argv).unwrap();
+        assert_eq!(args.telemetry.as_deref(), Some("t.prom"));
+        assert!(args.quiet);
+        assert!(parse_args(&["--telemetry".to_string()]).is_err());
     }
 }

@@ -47,6 +47,6 @@ pub mod scenarios;
 pub mod spec;
 
 pub use report::{CurveReport, PointReport, RunReport};
-pub use runner::{host_parallelism, SweepRunner};
+pub use runner::{host_parallelism, ProgressFn, SweepProgress, SweepRunner};
 pub use scenarios::{all_builtins, builtin, builtin_names};
 pub use spec::{ControllerSpec, LoadMode, ScenarioSpec, SpecError};

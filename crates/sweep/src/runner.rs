@@ -27,9 +27,14 @@
 use crate::report::{CurveReport, PointReport, RunReport};
 use crate::spec::{LoadMode, ScenarioSpec, SpecError};
 use cellsim::sim::Simulator;
+use cellsim::telem::DefaultRecorder;
+use cellsim::telemetry::{
+    CounterSnapshot, LabelPair, Recorder, Registry, SpanSnapshot, TelemetrySnapshot,
+};
 use cellsim::{Metrics, StatAccumulator};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The machine's available parallelism (1 when it cannot be determined).
 #[must_use]
@@ -46,6 +51,56 @@ struct CellOutcome {
     blocking_probability: f64,
     dropping_probability: f64,
     metrics: Metrics,
+}
+
+/// Live progress of a running sweep, delivered to the callback passed to
+/// [`SweepRunner::run_with_progress`] roughly ten times a second (from a
+/// dedicated monitor thread — the workers only bump an atomic counter, so
+/// observing progress never perturbs results).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepProgress {
+    /// Cells finished so far.
+    pub done: usize,
+    /// Total cells in the grid.
+    pub total: usize,
+    /// Wall-clock seconds since the run started.
+    pub elapsed_s: f64,
+}
+
+impl SweepProgress {
+    /// Cells completed per wall-clock second so far (0 until the clock
+    /// has measurably advanced).
+    #[must_use]
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.elapsed_s > 1e-9 {
+            self.done as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated seconds to completion from the current rate (`None`
+    /// until at least one cell has finished).
+    #[must_use]
+    pub fn eta_s(&self) -> Option<f64> {
+        let rate = self.cells_per_sec();
+        if rate > 0.0 {
+            Some((self.total.saturating_sub(self.done)) as f64 / rate)
+        } else {
+            None
+        }
+    }
+}
+
+/// A progress observer: called from the monitor thread, so it must be
+/// `Sync` (stderr writes are).
+pub type ProgressFn<'a> = &'a (dyn Fn(SweepProgress) + Sync);
+
+/// What one worker did during a run, in worker-spawn order.
+struct WorkerStats {
+    cells: u64,
+    wall_ns: u64,
+    telemetry: TelemetrySnapshot,
 }
 
 /// The parallel sweep engine.  See the module docs for the determinism
@@ -89,6 +144,46 @@ impl SweepRunner {
 
     /// Run `spec` end to end and aggregate the result.
     pub fn run(&self, spec: &ScenarioSpec) -> Result<RunReport, SpecError> {
+        self.run_impl::<DefaultRecorder>(spec, None)
+            .map(|(report, _)| report)
+    }
+
+    /// [`SweepRunner::run`] with a live progress observer (used by the
+    /// `sweep` binary's stderr progress line).  Progress reporting reads
+    /// one atomic counter from a monitor thread and never changes
+    /// results.
+    pub fn run_with_progress(
+        &self,
+        spec: &ScenarioSpec,
+        progress: ProgressFn<'_>,
+    ) -> Result<RunReport, SpecError> {
+        self.run_impl::<DefaultRecorder>(spec, Some(progress))
+            .map(|(report, _)| report)
+    }
+
+    /// Run `spec` with the instrumented recorder (regardless of the
+    /// `telemetry` cargo feature) and return the report together with the
+    /// merged telemetry of the whole run: every worker's simulator series
+    /// (merged in worker order) plus the sweep-level per-worker
+    /// throughput series.  The report is byte-identical to
+    /// [`SweepRunner::run`]'s.
+    pub fn run_instrumented(
+        &self,
+        spec: &ScenarioSpec,
+        progress: Option<ProgressFn<'_>>,
+    ) -> Result<(RunReport, TelemetrySnapshot), SpecError> {
+        let (report, stats) = self.run_impl::<Registry>(spec, progress)?;
+        Ok((report, compose_sweep_snapshot(&stats)))
+    }
+
+    /// The engine core, generic over the telemetry recorder the workers'
+    /// simulators carry (static dispatch: the default build's no-op
+    /// recorder keeps the hot loop allocation- and syscall-free).
+    fn run_impl<R: Recorder + Send>(
+        &self,
+        spec: &ScenarioSpec,
+        progress: Option<ProgressFn<'_>>,
+    ) -> Result<(RunReport, Vec<WorkerStats>), SpecError> {
         spec.validate()?;
         let n_controllers = spec.controllers.len();
         let n_points = spec.load_points.len();
@@ -98,6 +193,7 @@ impl SweepRunner {
         // Cell index layout: controller-major, then load point, then
         // replication — the same order aggregation walks below.
         let next_cell = AtomicUsize::new(0);
+        let cells_done = AtomicUsize::new(0);
         let workers = self.effective_workers(total);
 
         // Each worker owns ONE simulator and re-arms it per cell with
@@ -106,7 +202,7 @@ impl SweepRunner {
         // allocation cost once instead of once per cell.  `reset` is
         // bit-identical to building a fresh simulator (asserted by the
         // engine's tests), so this is purely a throughput change.
-        let run_cell = |index: usize, sim_slot: &mut Option<Simulator>| {
+        let run_cell = |index: usize, sim_slot: &mut Option<Simulator<R>>| {
             let rep = index % n_reps;
             let point = (index / n_reps) % n_points;
             let controller_idx = index / (n_reps * n_points);
@@ -119,7 +215,7 @@ impl SweepRunner {
                     sim.reset(config);
                     sim
                 }
-                None => sim_slot.insert(Simulator::new(config)),
+                None => sim_slot.insert(Simulator::with_telemetry(config)),
             };
             let report = match spec.load_mode {
                 LoadMode::Batch => sim.run_batch(controller.as_mut(), load),
@@ -137,9 +233,12 @@ impl SweepRunner {
 
         // Workers buffer finished cells locally and hand the buffer back
         // at join time — no lock on the hot path, and each worker touches
-        // only its own cache lines while simulating.
+        // only its own cache lines while simulating.  Each worker also
+        // reports what it did (cell count, wall time, its simulator's
+        // telemetry) for the sweep-level observability series.
         let worker_loop = || {
-            let mut sim: Option<Simulator> = None;
+            let started = Instant::now();
+            let mut sim: Option<Simulator<R>> = None;
             let mut local: Vec<(usize, CellOutcome)> = Vec::new();
             loop {
                 let index = next_cell.fetch_add(1, Ordering::Relaxed);
@@ -147,27 +246,65 @@ impl SweepRunner {
                     break;
                 }
                 local.push((index, run_cell(index, &mut sim)));
+                cells_done.fetch_add(1, Ordering::Relaxed);
             }
-            local
+            let stats = WorkerStats {
+                cells: local.len() as u64,
+                wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                telemetry: sim.as_ref().map(Simulator::telemetry).unwrap_or_default(),
+            };
+            (local, stats)
         };
 
+        let started = Instant::now();
         let mut cells: Vec<Option<CellOutcome>> = vec![None; total];
-        if workers <= 1 {
-            for (index, outcome) in worker_loop() {
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        if workers <= 1 && progress.is_none() {
+            let (batch, stats) = worker_loop();
+            for (index, outcome) in batch {
                 cells[index] = Some(outcome);
             }
+            worker_stats.push(stats);
         } else {
+            let finished = AtomicBool::new(false);
             let batches = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker_loop)).collect();
-                handles
+                // The monitor only reads `cells_done`; it cannot affect
+                // worker scheduling or results.
+                let monitor = progress.map(|callback| {
+                    let finished = &finished;
+                    let cells_done = &cells_done;
+                    scope.spawn(move || {
+                        while !finished.load(Ordering::Relaxed) {
+                            callback(SweepProgress {
+                                done: cells_done.load(Ordering::Relaxed),
+                                total,
+                                elapsed_s: started.elapsed().as_secs_f64(),
+                            });
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                        }
+                        callback(SweepProgress {
+                            done: cells_done.load(Ordering::Relaxed),
+                            total,
+                            elapsed_s: started.elapsed().as_secs_f64(),
+                        });
+                    })
+                });
+                let batches: Vec<_> = handles
                     .into_iter()
                     .map(|h| h.join().expect("sweep worker panicked"))
-                    .collect::<Vec<_>>()
+                    .collect();
+                finished.store(true, Ordering::Relaxed);
+                if let Some(monitor) = monitor {
+                    monitor.join().expect("progress monitor panicked");
+                }
+                batches
             });
-            for batch in batches {
+            for (batch, stats) in batches {
                 for (index, outcome) in batch {
                     cells[index] = Some(outcome);
                 }
+                worker_stats.push(stats);
             }
         }
         let mut curves = Vec::with_capacity(n_controllers);
@@ -204,15 +341,58 @@ impl SweepRunner {
             });
         }
 
-        Ok(RunReport {
-            scenario: spec.name.clone(),
-            description: spec.description.clone(),
-            replications: n_reps,
-            base_seed: spec.base_seed,
-            load_points: spec.load_points.clone(),
-            curves,
-        })
+        Ok((
+            RunReport {
+                scenario: spec.name.clone(),
+                description: spec.description.clone(),
+                replications: n_reps,
+                base_seed: spec.base_seed,
+                load_points: spec.load_points.clone(),
+                curves,
+            },
+            worker_stats,
+        ))
     }
+}
+
+/// Compose the sweep-level snapshot: total cell throughput, one
+/// `{worker="i"}` series per worker (spawn order), and every worker
+/// simulator's own series merged in the same fixed order.
+fn compose_sweep_snapshot(stats: &[WorkerStats]) -> TelemetrySnapshot {
+    let mut snapshot = TelemetrySnapshot {
+        counters: vec![CounterSnapshot {
+            name: "sweep_cells_completed_total".to_string(),
+            help: "Sweep cells completed across all workers".to_string(),
+            labels: Vec::new(),
+            value: stats.iter().map(|s| s.cells).sum(),
+        }],
+        ..TelemetrySnapshot::default()
+    };
+    for (worker, s) in stats.iter().enumerate() {
+        let labels = vec![LabelPair {
+            key: "worker".to_string(),
+            value: worker.to_string(),
+        }];
+        snapshot.counters.push(CounterSnapshot {
+            name: "sweep_worker_cells_total".to_string(),
+            help: "Sweep cells completed by each worker".to_string(),
+            labels: labels.clone(),
+            value: s.cells,
+        });
+        snapshot.spans.push(SpanSnapshot {
+            name: "sweep_worker_wall_ns".to_string(),
+            help: "Wall time each worker spent draining the cell queue".to_string(),
+            labels,
+            count: s.cells,
+            total_ns: s.wall_ns,
+            min_ns: s.wall_ns,
+            max_ns: s.wall_ns,
+        });
+    }
+    for s in stats {
+        snapshot.merge(&s.telemetry);
+    }
+    snapshot
 }
 
 impl Default for SweepRunner {
@@ -305,6 +485,87 @@ mod tests {
         assert_eq!(SweepRunner::with_threads(0).threads(), 1);
         assert!(SweepRunner::new().threads() >= 1);
         assert!(SweepRunner::new().threads() <= 16);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_exposes_sweep_series() {
+        let spec = tiny_spec();
+        let runner = SweepRunner::with_threads(2);
+        let plain = runner.run(&spec).unwrap();
+        let (instrumented, snapshot) = runner.run_instrumented(&spec, None).unwrap();
+        assert_eq!(
+            plain.to_json(),
+            instrumented.to_json(),
+            "telemetry must not perturb the report"
+        );
+        let total = (spec.controllers.len() * spec.load_points.len() * spec.replications) as u64;
+        let cells = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == "sweep_cells_completed_total")
+            .expect("sweep counter present");
+        assert_eq!(cells.value, total);
+        let per_worker: u64 = snapshot
+            .counters
+            .iter()
+            .filter(|c| c.name == "sweep_worker_cells_total")
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(per_worker, total, "worker series partition the grid");
+        assert!(
+            snapshot
+                .counters
+                .iter()
+                .any(|c| c.name == "sim_events_total" && c.value > 0),
+            "worker simulator series are merged in"
+        );
+        cellsim::telemetry::lint_prometheus(&snapshot.to_prometheus())
+            .expect("sweep exposition lints clean");
+    }
+
+    #[test]
+    fn progress_observer_sees_completion_without_changing_results() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spec = tiny_spec();
+        let runner = SweepRunner::with_threads(2);
+        let last_done = AtomicUsize::new(usize::MAX);
+        let calls = AtomicUsize::new(0);
+        let observed = runner
+            .run_with_progress(&spec, &|p: SweepProgress| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                last_done.store(p.done, Ordering::Relaxed);
+                assert!(p.done <= p.total);
+                assert_eq!(
+                    p.total,
+                    spec.controllers.len() * spec.load_points.len() * spec.replications
+                );
+            })
+            .unwrap();
+        assert!(calls.load(Ordering::Relaxed) >= 1, "monitor fired");
+        assert_eq!(
+            last_done.load(Ordering::Relaxed),
+            spec.controllers.len() * spec.load_points.len() * spec.replications,
+            "final callback reports a drained queue"
+        );
+        assert_eq!(observed, runner.run(&spec).unwrap());
+    }
+
+    #[test]
+    fn progress_math_is_sane() {
+        let p = SweepProgress {
+            done: 50,
+            total: 100,
+            elapsed_s: 10.0,
+        };
+        assert!((p.cells_per_sec() - 5.0).abs() < 1e-12);
+        assert!((p.eta_s().unwrap() - 10.0).abs() < 1e-12);
+        let idle = SweepProgress {
+            done: 0,
+            total: 100,
+            elapsed_s: 0.0,
+        };
+        assert_eq!(idle.cells_per_sec(), 0.0);
+        assert!(idle.eta_s().is_none());
     }
 
     #[test]

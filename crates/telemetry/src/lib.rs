@@ -1,0 +1,1237 @@
+//! Deterministic-safe telemetry for the FACS-P workspace.
+//!
+//! This crate provides the observability layer shared by the simulator,
+//! the sharded engine, the sweep runner, and the benchmark harness:
+//!
+//! * **monotonic counters** — dense-indexed `u64` adds, no hashing and no
+//!   allocation on the hot path;
+//! * **fixed-bucket histograms** — power-of-two (log2) buckets, so two
+//!   histograms built on different machines or shards merge exactly;
+//! * **span timers** — count/total/min/max nanosecond aggregates;
+//! * **a bounded ring-buffer tracer** — the most recent `N` coarse events
+//!   with an overflow (dropped) count, never an unbounded log.
+//!
+//! Everything hangs off the [`Recorder`] trait. Instrumented code is
+//! generic over `R: Recorder` — never `dyn` — so the no-op implementation
+//! ([`NoopRecorder`], a zero-sized type whose methods are empty `#[inline]`
+//! bodies) compiles to literally nothing: the disabled build keeps the
+//! engine's ≤1-allocation guarantee and its exact instruction stream.
+//! The real implementation ([`Registry`]) preallocates every cell at
+//! construction from a `'static` [`Schema`] and is allocation-free while
+//! recording.
+//!
+//! # Determinism contract
+//!
+//! Telemetry is **observation-only**. A [`Recorder`] never feeds back into
+//! simulation state, never draws from an RNG stream, and never reorders
+//! events; wall-clock reads ([`Stopwatch`]) are gated on
+//! [`Recorder::ENABLED`] so the disabled build performs none. Golden
+//! snapshots are therefore byte-identical with telemetry on and off —
+//! asserted by `cellsim/tests/telemetry_invariance.rs` and by running the
+//! golden suites under `--features telemetry` in CI.
+//!
+//! # Exporters
+//!
+//! A [`TelemetrySnapshot`] (the cold-path, owned view of a recorder) can be
+//! rendered as Prometheus text exposition ([`TelemetrySnapshot::to_prometheus`])
+//! or pretty JSON ([`TelemetrySnapshot::to_json`]); [`lint_prometheus`]
+//! validates the exposition syntax and backs the CI smoke check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 histogram buckets: bucket `0` holds the value `0`,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, up to bucket 64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Static description of one metric: its exposition name, help text, and
+/// constant labels. Lives in a `'static` [`Schema`] so identifying a
+/// metric at record time is a dense integer index, not a name lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Prometheus-style metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: &'static str,
+    /// One-line help text for the `# HELP` exposition line.
+    pub help: &'static str,
+    /// Constant `(key, value)` label pairs attached to every sample.
+    pub labels: &'static [(&'static str, &'static str)],
+}
+
+/// The full metric layout a [`Registry`] is built from. One static
+/// `Schema` per subsystem; ids are indices into these slices.
+#[derive(Debug, Clone, Copy)]
+pub struct Schema {
+    /// Monotonic counters, indexed by [`CounterId`].
+    pub counters: &'static [MetricDef],
+    /// Log2-bucket histograms, indexed by [`HistogramId`].
+    pub histograms: &'static [MetricDef],
+    /// High-water-mark gauges, indexed by [`GaugeId`].
+    pub gauges: &'static [MetricDef],
+    /// Span timers, indexed by [`SpanId`].
+    pub spans: &'static [MetricDef],
+    /// Human-readable names for [`TraceEvent::kind`] values.
+    pub trace_kinds: &'static [&'static str],
+    /// Ring-buffer capacity of the event tracer (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+/// Index of a counter within [`Schema::counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub u16);
+
+/// Index of a histogram within [`Schema::histograms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(pub u16);
+
+/// Index of a gauge within [`Schema::gauges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub u16);
+
+/// Index of a span timer within [`Schema::spans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u16);
+
+/// One coarse trace record: a simulation-time stamp, a kind (an index
+/// into [`Schema::trace_kinds`]), and a free-form value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the event, in seconds.
+    pub time_s: f64,
+    /// Index into [`Schema::trace_kinds`].
+    pub kind: u16,
+    /// Kind-specific payload (a count, a depth, an id…).
+    pub value: u64,
+}
+
+/// Count/total/min/max aggregate of recorded span durations. Mergeable,
+/// so per-shard and per-worker spans combine without losing the extremes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of all recorded durations, in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest recorded duration, in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Longest recorded duration, in nanoseconds (0 when empty).
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Fold one duration into the aggregate.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.min_ns = if self.count == 0 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.max_ns = self.max_ns.max(ns);
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    /// Combine two aggregates (commutative and associative).
+    pub fn merge(&mut self, other: &SpanStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.min_ns = if self.count == 0 {
+            other.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+    }
+
+    /// Mean duration in nanoseconds, `0.0` when empty.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// The instrumentation sink. Hot-path code is generic over `R: Recorder`
+/// (static dispatch); [`NoopRecorder`] makes every call vanish at compile
+/// time, [`Registry`] records into preallocated dense arrays.
+///
+/// Anything whose *arguments* cost something to compute (a wall-clock
+/// read, a derived ratio) must be gated on [`Recorder::ENABLED`] at the
+/// call site so the disabled build does not even compute the operands.
+pub trait Recorder {
+    /// `true` only for implementations that actually record; lets call
+    /// sites skip computing expensive operands (e.g. `Instant::now`)
+    /// behind a compile-time constant branch.
+    const ENABLED: bool;
+
+    /// Build a recorder for `schema`. [`Registry`] preallocates every
+    /// metric cell here so recording never allocates.
+    fn for_schema(schema: &'static Schema) -> Self
+    where
+        Self: Sized;
+
+    /// Add `delta` to a monotonic counter.
+    fn add(&mut self, counter: CounterId, delta: u64);
+
+    /// Record one observation into a log2-bucket histogram.
+    fn observe(&mut self, histogram: HistogramId, value: u64);
+
+    /// Raise a high-water-mark gauge to at least `value`.
+    fn high_water(&mut self, gauge: GaugeId, value: u64);
+
+    /// Fold one measured duration into a span timer.
+    fn span_ns(&mut self, span: SpanId, ns: u64);
+
+    /// Push one event into the bounded ring tracer (oldest entries are
+    /// overwritten once the ring is full; overwrites are counted).
+    fn trace(&mut self, event: TraceEvent);
+
+    /// Owned cold-path view of everything recorded so far.
+    fn snapshot(&self) -> TelemetrySnapshot;
+
+    /// Clear all recorded values (capacity is retained).
+    fn reset(&mut self);
+}
+
+/// The disabled recorder: a zero-sized type whose methods are empty
+/// inline bodies, so instrumented code monomorphised over it is
+/// instruction-for-instruction the uninstrumented code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn for_schema(_schema: &'static Schema) -> Self {
+        NoopRecorder
+    }
+
+    #[inline(always)]
+    fn add(&mut self, _counter: CounterId, _delta: u64) {}
+
+    #[inline(always)]
+    fn observe(&mut self, _histogram: HistogramId, _value: u64) {}
+
+    #[inline(always)]
+    fn high_water(&mut self, _gauge: GaugeId, _value: u64) {}
+
+    #[inline(always)]
+    fn span_ns(&mut self, _span: SpanId, _ns: u64) {}
+
+    #[inline(always)]
+    fn trace(&mut self, _event: TraceEvent) {}
+
+    fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::default()
+    }
+
+    #[inline(always)]
+    fn reset(&mut self) {}
+}
+
+/// Dense log2-bucket histogram cell (internal to [`Registry`]).
+#[derive(Clone)]
+struct Hist {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: `0` for `0`, else `64 - leading_zeros`, so
+/// bucket `i ≥ 1` covers `[2^(i-1), 2^i)`.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `index` (the Prometheus `le` value).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// The real recorder: every counter, histogram, gauge, span, and the
+/// trace ring are preallocated from the schema at construction, so the
+/// recording path is a handful of integer stores — no hashing, no
+/// branching on names, and no allocation.
+///
+/// `Registry` is always available (not feature-gated) so a default,
+/// telemetry-off build can still instantiate an instrumented simulator
+/// explicitly — that is how the on-vs-off invariance test and the
+/// telemetry-overhead benchmark case run inside one binary.
+#[derive(Clone)]
+pub struct Registry {
+    schema: &'static Schema,
+    counters: Vec<u64>,
+    histograms: Vec<Hist>,
+    gauges: Vec<u64>,
+    spans: Vec<SpanStats>,
+    trace: Vec<TraceEvent>,
+    trace_next: usize,
+    trace_dropped: u64,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.counters.len())
+            .field("histograms", &self.histograms.len())
+            .field("gauges", &self.gauges.len())
+            .field("spans", &self.spans.len())
+            .field("trace_len", &self.trace.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// The schema this registry was built from.
+    #[must_use]
+    pub fn schema(&self) -> &'static Schema {
+        self.schema
+    }
+
+    /// Current value of one counter.
+    #[must_use]
+    pub fn counter(&self, counter: CounterId) -> u64 {
+        self.counters[counter.0 as usize]
+    }
+
+    /// Current high-water value of one gauge.
+    #[must_use]
+    pub fn gauge(&self, gauge: GaugeId) -> u64 {
+        self.gauges[gauge.0 as usize]
+    }
+
+    /// Aggregate of one span timer.
+    #[must_use]
+    pub fn span(&self, span: SpanId) -> SpanStats {
+        self.spans[span.0 as usize]
+    }
+}
+
+impl Recorder for Registry {
+    const ENABLED: bool = true;
+
+    fn for_schema(schema: &'static Schema) -> Self {
+        Registry {
+            schema,
+            counters: vec![0; schema.counters.len()],
+            histograms: vec![Hist::new(); schema.histograms.len()],
+            gauges: vec![0; schema.gauges.len()],
+            spans: vec![SpanStats::default(); schema.spans.len()],
+            trace: Vec::with_capacity(schema.trace_capacity),
+            trace_next: 0,
+            trace_dropped: 0,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, counter: CounterId, delta: u64) {
+        self.counters[counter.0 as usize] += delta;
+    }
+
+    #[inline]
+    fn observe(&mut self, histogram: HistogramId, value: u64) {
+        let h = &mut self.histograms[histogram.0 as usize];
+        h.buckets[bucket_index(value)] += 1;
+        h.count += 1;
+        h.sum = h.sum.saturating_add(value);
+    }
+
+    #[inline]
+    fn high_water(&mut self, gauge: GaugeId, value: u64) {
+        let g = &mut self.gauges[gauge.0 as usize];
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    #[inline]
+    fn span_ns(&mut self, span: SpanId, ns: u64) {
+        self.spans[span.0 as usize].record(ns);
+    }
+
+    #[inline]
+    fn trace(&mut self, event: TraceEvent) {
+        if self.schema.trace_capacity == 0 {
+            return;
+        }
+        if self.trace.len() < self.schema.trace_capacity {
+            self.trace.push(event);
+        } else {
+            self.trace[self.trace_next] = event;
+            self.trace_dropped += 1;
+        }
+        self.trace_next = (self.trace_next + 1) % self.schema.trace_capacity;
+    }
+
+    fn snapshot(&self) -> TelemetrySnapshot {
+        let labels = |def: &MetricDef| {
+            def.labels
+                .iter()
+                .map(|(k, v)| LabelPair {
+                    key: (*k).to_string(),
+                    value: (*v).to_string(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let counters = self
+            .schema
+            .counters
+            .iter()
+            .zip(&self.counters)
+            .map(|(def, &value)| CounterSnapshot {
+                name: def.name.to_string(),
+                help: def.help.to_string(),
+                labels: labels(def),
+                value,
+            })
+            .collect();
+        let histograms = self
+            .schema
+            .histograms
+            .iter()
+            .zip(&self.histograms)
+            .map(|(def, h)| HistogramSnapshot {
+                name: def.name.to_string(),
+                help: def.help.to_string(),
+                labels: labels(def),
+                count: h.count,
+                sum: h.sum,
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| BucketCount {
+                        le: bucket_upper_bound(i),
+                        count: c,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let gauges = self
+            .schema
+            .gauges
+            .iter()
+            .zip(&self.gauges)
+            .map(|(def, &value)| GaugeSnapshot {
+                name: def.name.to_string(),
+                help: def.help.to_string(),
+                labels: labels(def),
+                value,
+            })
+            .collect();
+        let spans = self
+            .schema
+            .spans
+            .iter()
+            .zip(&self.spans)
+            .map(|(def, stats)| SpanSnapshot {
+                name: def.name.to_string(),
+                help: def.help.to_string(),
+                labels: labels(def),
+                count: stats.count,
+                total_ns: stats.total_ns,
+                min_ns: stats.min_ns,
+                max_ns: stats.max_ns,
+            })
+            .collect();
+        // Replay the ring oldest-first so the trace reads chronologically.
+        let mut traces = Vec::with_capacity(self.trace.len());
+        let start = if self.trace.len() < self.schema.trace_capacity {
+            0
+        } else {
+            self.trace_next
+        };
+        for i in 0..self.trace.len() {
+            let event = self.trace[(start + i) % self.trace.len()];
+            let kind = self
+                .schema
+                .trace_kinds
+                .get(event.kind as usize)
+                .map_or_else(|| format!("kind{}", event.kind), |k| (*k).to_string());
+            traces.push(TraceSnapshot {
+                time_s: event.time_s,
+                kind,
+                value: event.value,
+            });
+        }
+        TelemetrySnapshot {
+            counters,
+            histograms,
+            gauges,
+            spans,
+            traces,
+            dropped_traces: self.trace_dropped,
+        }
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.counters {
+            *c = 0;
+        }
+        for h in &mut self.histograms {
+            h.buckets = [0; HISTOGRAM_BUCKETS];
+            h.count = 0;
+            h.sum = 0;
+        }
+        for g in &mut self.gauges {
+            *g = 0;
+        }
+        for s in &mut self.spans {
+            *s = SpanStats::default();
+        }
+        self.trace.clear();
+        self.trace_next = 0;
+        self.trace_dropped = 0;
+    }
+}
+
+/// A wall-clock timer that only reads the clock when `enabled` — pass
+/// `R::ENABLED` so the disabled build folds the branch away and performs
+/// no `Instant::now` syscall at all.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<std::time::Instant>);
+
+impl Stopwatch {
+    /// Start the timer if `enabled`, otherwise return an inert stopwatch.
+    #[inline]
+    #[must_use]
+    pub fn started(enabled: bool) -> Self {
+        Stopwatch(if enabled {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        })
+    }
+
+    /// Elapsed nanoseconds since [`Stopwatch::started`], or `None` for an
+    /// inert stopwatch.
+    #[inline]
+    #[must_use]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.0
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// One `key="value"` exposition label.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LabelPair {
+    /// Label name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub key: String,
+    /// Label value (escaped on exposition).
+    pub value: String,
+}
+
+/// Snapshot of one monotonic counter.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Constant labels.
+    pub labels: Vec<LabelPair>,
+    /// Accumulated count.
+    pub value: u64,
+}
+
+/// One non-empty histogram bucket: `count` observations with
+/// `value <= le`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations that landed in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// Snapshot of one log2-bucket histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Constant labels.
+    pub labels: Vec<LabelPair>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Non-empty buckets, ascending by `le`.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Snapshot of one high-water-mark gauge.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Constant labels.
+    pub labels: Vec<LabelPair>,
+    /// Highest value observed.
+    pub value: u64,
+}
+
+/// Snapshot of one span timer.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Metric name (by convention ends in `_ns`).
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Constant labels.
+    pub labels: Vec<LabelPair>,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of all durations, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest duration, nanoseconds.
+    pub min_ns: u64,
+    /// Longest duration, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One chronological trace entry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSnapshot {
+    /// Simulation time, seconds.
+    pub time_s: f64,
+    /// Human-readable trace kind.
+    pub kind: String,
+    /// Kind-specific payload.
+    pub value: u64,
+}
+
+/// Owned, mergeable, serialisable view of everything a [`Recorder`]
+/// collected. This is the cold path: building, merging, and exporting a
+/// snapshot may allocate freely.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Counter samples.
+    pub counters: Vec<CounterSnapshot>,
+    /// Histogram samples.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Gauge samples.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Span samples.
+    pub spans: Vec<SpanSnapshot>,
+    /// Recent trace events, oldest first.
+    pub traces: Vec<TraceSnapshot>,
+    /// Trace events overwritten because the ring was full.
+    pub dropped_traces: u64,
+}
+
+fn same_series(
+    name: &str,
+    labels: &[LabelPair],
+    other_name: &str,
+    other_labels: &[LabelPair],
+) -> bool {
+    name == other_name && labels == other_labels
+}
+
+impl TelemetrySnapshot {
+    /// `true` when nothing was recorded (and no series are declared).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.traces.is_empty()
+    }
+
+    /// Fold `other` into `self`, matching series by `(name, labels)`:
+    /// counters and histogram buckets add, gauges take the max, spans
+    /// merge their aggregates, traces concatenate. Unmatched series are
+    /// appended, so snapshots from different schemas combine losslessly.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for c in &other.counters {
+            match self
+                .counters
+                .iter_mut()
+                .find(|m| same_series(&m.name, &m.labels, &c.name, &c.labels))
+            {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self
+                .histograms
+                .iter_mut()
+                .find(|m| same_series(&m.name, &m.labels, &h.name, &h.labels))
+            {
+                Some(m) => {
+                    m.count += h.count;
+                    m.sum = m.sum.saturating_add(h.sum);
+                    for b in &h.buckets {
+                        match m.buckets.iter_mut().find(|mb| mb.le == b.le) {
+                            Some(mb) => mb.count += b.count,
+                            None => m.buckets.push(b.clone()),
+                        }
+                    }
+                    m.buckets.sort_by_key(|b| b.le);
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self
+                .gauges
+                .iter_mut()
+                .find(|m| same_series(&m.name, &m.labels, &g.name, &g.labels))
+            {
+                Some(m) => m.value = m.value.max(g.value),
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for s in &other.spans {
+            match self
+                .spans
+                .iter_mut()
+                .find(|m| same_series(&m.name, &m.labels, &s.name, &s.labels))
+            {
+                Some(m) => {
+                    let mut stats = SpanStats {
+                        count: m.count,
+                        total_ns: m.total_ns,
+                        min_ns: m.min_ns,
+                        max_ns: m.max_ns,
+                    };
+                    stats.merge(&SpanStats {
+                        count: s.count,
+                        total_ns: s.total_ns,
+                        min_ns: s.min_ns,
+                        max_ns: s.max_ns,
+                    });
+                    m.count = stats.count;
+                    m.total_ns = stats.total_ns;
+                    m.min_ns = stats.min_ns;
+                    m.max_ns = stats.max_ns;
+                }
+                None => self.spans.push(s.clone()),
+            }
+        }
+        self.traces.extend(other.traces.iter().cloned());
+        self.dropped_traces += other.dropped_traces;
+    }
+
+    /// Pretty-printed JSON export.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialisation cannot fail")
+    }
+
+    /// Prometheus text exposition (format version 0.0.4).
+    ///
+    /// Histograms emit cumulative `_bucket{le=...}` series plus `_sum`
+    /// and `_count`; spans emit `_count`/`_total`/`_min`/`_max` series;
+    /// counters and gauges emit plain samples. Output passes
+    /// [`lint_prometheus`], which CI smoke-checks.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let esc = |v: &str| {
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        };
+        let label_block = |labels: &[LabelPair], extra: Option<(&str, String)>| {
+            let mut parts: Vec<String> = labels
+                .iter()
+                .map(|l| format!("{}=\"{}\"", l.key, esc(&l.value)))
+                .collect();
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        for c in &self.counters {
+            out.push_str(&format!("# HELP {} {}\n", c.name, c.help));
+            out.push_str(&format!("# TYPE {} counter\n", c.name));
+            out.push_str(&format!(
+                "{}{} {}\n",
+                c.name,
+                label_block(&c.labels, None),
+                c.value
+            ));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("# HELP {} {}\n", h.name, h.help));
+            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            let mut cumulative = 0u64;
+            for b in &h.buckets {
+                cumulative += b.count;
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    h.name,
+                    label_block(&h.labels, Some(("le", b.le.to_string()))),
+                    cumulative
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                h.name,
+                label_block(&h.labels, Some(("le", "+Inf".to_string()))),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                h.name,
+                label_block(&h.labels, None),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                h.name,
+                label_block(&h.labels, None),
+                h.count
+            ));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("# HELP {} {}\n", g.name, g.help));
+            out.push_str(&format!("# TYPE {} gauge\n", g.name));
+            out.push_str(&format!(
+                "{}{} {}\n",
+                g.name,
+                label_block(&g.labels, None),
+                g.value
+            ));
+        }
+        for s in &self.spans {
+            for (suffix, value) in [
+                ("count", s.count),
+                ("total", s.total_ns),
+                ("min", s.min_ns),
+                ("max", s.max_ns),
+            ] {
+                let name = format!("{}_{suffix}", s.name);
+                out.push_str(&format!("# HELP {name} {} ({suffix})\n", s.help));
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                out.push_str(&format!("{name}{} {value}\n", label_block(&s.labels, None)));
+            }
+        }
+        if !self.traces.is_empty() || self.dropped_traces > 0 {
+            let name = "telemetry_trace_dropped";
+            out.push_str(&format!(
+                "# HELP {name} Trace events overwritten because the ring buffer was full\n"
+            ));
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {}\n", self.dropped_traces));
+        }
+        out
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Byte index one past the closing quote of the `"`-opened string at the
+/// start of `s`, honouring `\"`/`\\` escapes; `None` when unterminated.
+fn scan_quoted(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i + 1),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validate Prometheus text exposition syntax: every line must be a
+/// well-formed `# HELP`/`# TYPE` comment or a `name{labels} value`
+/// sample with legal metric/label names and a parseable value. Returns
+/// the first offending line on failure. This is the lint behind the CI
+/// smoke check on exporter output.
+pub fn lint_prometheus(text: &str) -> Result<(), String> {
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            if let Some(help) = rest.strip_prefix("HELP ") {
+                let name = help.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad metric name in HELP: `{line}`"));
+                }
+            } else if let Some(ty) = rest.strip_prefix("TYPE ") {
+                let mut parts = ty.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad metric name in TYPE: `{line}`"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {n}: bad metric type `{kind}`: `{line}`"));
+                }
+            } else {
+                return Err(format!("line {n}: unknown comment form: `{line}`"));
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return Err(format!("line {n}: no value: `{line}`")),
+        };
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return Err(format!("line {n}: unparseable value `{value}`: `{line}`"));
+        }
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = match rest.strip_suffix('}') {
+                    Some(l) => l,
+                    None => return Err(format!("line {n}: unterminated label block: `{line}`")),
+                };
+                (name, Some(labels))
+            }
+            None => (series, None),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: bad metric name `{name}`: `{line}`"));
+        }
+        if let Some(labels) = labels {
+            // Walk the label block left to right rather than splitting on
+            // commas: quoted label values may legally contain commas,
+            // spaces, and escaped quotes.
+            let mut rest = labels;
+            while !rest.is_empty() {
+                let (key, after) = match rest.split_once('=') {
+                    Some(kv) => kv,
+                    None => return Err(format!("line {n}: bad label pair `{rest}`: `{line}`")),
+                };
+                if !valid_label_name(key) {
+                    return Err(format!("line {n}: bad label name `{key}`: `{line}`"));
+                }
+                if !after.starts_with('"') {
+                    return Err(format!(
+                        "line {n}: unquoted label value `{after}`: `{line}`"
+                    ));
+                }
+                let end = match scan_quoted(after) {
+                    Some(end) => end,
+                    None => return Err(format!("line {n}: unterminated label value: `{line}`")),
+                };
+                rest = &after[end..];
+                match rest.strip_prefix(',') {
+                    Some(r) => rest = r,
+                    None if rest.is_empty() => break,
+                    None => {
+                        return Err(format!(
+                            "line {n}: junk after label value `{rest}`: `{line}`"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_SCHEMA: Schema = Schema {
+        counters: &[
+            MetricDef {
+                name: "test_events_total",
+                help: "Events seen",
+                labels: &[("kind", "arrival")],
+            },
+            MetricDef {
+                name: "test_events_total",
+                help: "Events seen",
+                labels: &[("kind", "departure")],
+            },
+        ],
+        histograms: &[MetricDef {
+            name: "test_depth",
+            help: "Queue depth",
+            labels: &[],
+        }],
+        gauges: &[MetricDef {
+            name: "test_high_water",
+            help: "High water",
+            labels: &[],
+        }],
+        spans: &[MetricDef {
+            name: "test_phase_ns",
+            help: "Phase wall time",
+            labels: &[],
+        }],
+        trace_kinds: &["epoch"],
+        trace_capacity: 4,
+    };
+
+    const ARRIVAL: CounterId = CounterId(0);
+    const DEPARTURE: CounterId = CounterId(1);
+    const DEPTH: HistogramId = HistogramId(0);
+    const HIGH: GaugeId = GaugeId(0);
+    const PHASE: SpanId = SpanId(0);
+
+    #[test]
+    fn noop_recorder_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+        const { assert!(!NoopRecorder::ENABLED) }
+        const { assert!(Registry::ENABLED) }
+        let mut r = NoopRecorder::for_schema(&TEST_SCHEMA);
+        r.add(ARRIVAL, 5);
+        r.observe(DEPTH, 1);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn bucket_index_matches_log2_ranges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(11), 2047);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value lands in the bucket whose bound covers it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            assert!(v <= bucket_upper_bound(bucket_index(v)));
+            if bucket_index(v) > 0 {
+                assert!(v > bucket_upper_bound(bucket_index(v) - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn registry_records_and_snapshots() {
+        let mut r = Registry::for_schema(&TEST_SCHEMA);
+        r.add(ARRIVAL, 3);
+        r.add(DEPARTURE, 1);
+        r.observe(DEPTH, 0);
+        r.observe(DEPTH, 5);
+        r.observe(DEPTH, 5);
+        r.high_water(HIGH, 10);
+        r.high_water(HIGH, 7);
+        r.span_ns(PHASE, 100);
+        r.span_ns(PHASE, 50);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].value, 3);
+        assert_eq!(snap.counters[0].labels[0].value, "arrival");
+        assert_eq!(snap.counters[1].value, 1);
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 10);
+        assert_eq!(h.buckets.len(), 2); // value 0 and two 5s
+        assert_eq!(snap.gauges[0].value, 10);
+        let s = &snap.spans[0];
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (2, 150, 50, 100));
+        r.reset();
+        let empty = r.snapshot();
+        assert_eq!(empty.counters[0].value, 0);
+        assert_eq!(empty.histograms[0].count, 0);
+    }
+
+    #[test]
+    fn trace_ring_wraps_and_counts_drops() {
+        let mut r = Registry::for_schema(&TEST_SCHEMA);
+        for i in 0..6u64 {
+            r.trace(TraceEvent {
+                time_s: i as f64,
+                kind: 0,
+                value: i,
+            });
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.traces.len(), 4);
+        assert_eq!(snap.dropped_traces, 2);
+        // Oldest-first replay: events 2,3,4,5 survive.
+        let values: Vec<u64> = snap.traces.iter().map(|t| t.value).collect();
+        assert_eq!(values, vec![2, 3, 4, 5]);
+        assert_eq!(snap.traces[0].kind, "epoch");
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_buckets() {
+        let mut a = Registry::for_schema(&TEST_SCHEMA);
+        let mut b = Registry::for_schema(&TEST_SCHEMA);
+        a.add(ARRIVAL, 2);
+        b.add(ARRIVAL, 3);
+        b.add(DEPARTURE, 1);
+        a.observe(DEPTH, 4);
+        b.observe(DEPTH, 4);
+        b.observe(DEPTH, 100);
+        a.high_water(HIGH, 5);
+        b.high_water(HIGH, 9);
+        a.span_ns(PHASE, 10);
+        b.span_ns(PHASE, 30);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters[0].value, 5);
+        assert_eq!(merged.counters[1].value, 1);
+        let h = &merged.histograms[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 108);
+        assert_eq!(merged.gauges[0].value, 9);
+        let s = &merged.spans[0];
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (2, 40, 10, 30));
+        // Merge is commutative on the aggregates.
+        let mut flipped = b.snapshot();
+        flipped.merge(&a.snapshot());
+        assert_eq!(flipped.counters[0].value, merged.counters[0].value);
+        assert_eq!(flipped.histograms[0].count, merged.histograms[0].count);
+        assert_eq!(flipped.gauges[0].value, merged.gauges[0].value);
+    }
+
+    #[test]
+    fn prometheus_exposition_passes_lint() {
+        let mut r = Registry::for_schema(&TEST_SCHEMA);
+        r.add(ARRIVAL, 7);
+        r.observe(DEPTH, 3);
+        r.observe(DEPTH, 300);
+        r.high_water(HIGH, 42);
+        r.span_ns(PHASE, 1234);
+        r.trace(TraceEvent {
+            time_s: 1.0,
+            kind: 0,
+            value: 9,
+        });
+        let text = r.snapshot().to_prometheus();
+        lint_prometheus(&text).expect("exposition must lint clean");
+        assert!(text.contains("test_events_total{kind=\"arrival\"} 7"));
+        assert!(text.contains("# TYPE test_depth histogram"));
+        assert!(text.contains("test_depth_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("test_depth_count 2"));
+        assert!(text.contains("test_high_water 42"));
+        assert!(text.contains("test_phase_ns_total 1234"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let mut r = Registry::for_schema(&TEST_SCHEMA);
+        r.observe(DEPTH, 1);
+        r.observe(DEPTH, 1);
+        r.observe(DEPTH, 8);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("test_depth_bucket{le=\"1\"} 2"));
+        assert!(text.contains("test_depth_bucket{le=\"15\"} 3"));
+        assert!(text.contains("test_depth_sum 10"));
+    }
+
+    #[test]
+    fn lint_rejects_malformed_exposition() {
+        assert!(lint_prometheus("9metric 1\n").is_err());
+        assert!(lint_prometheus("metric{9bad=\"x\"} 1\n").is_err());
+        assert!(lint_prometheus("metric{k=unquoted} 1\n").is_err());
+        assert!(lint_prometheus("metric one\n").is_err());
+        assert!(lint_prometheus("metric{k=\"v\" 1\n").is_err());
+        assert!(lint_prometheus("# BOGUS metric counter\n").is_err());
+        assert!(lint_prometheus("# TYPE metric widget\n").is_err());
+        assert!(lint_prometheus("metric{k=\"v\"} 1\n# TYPE metric counter\n").is_ok());
+        assert!(lint_prometheus("metric +Inf\n").is_ok());
+        // Quoted values may contain commas, spaces, and escaped quotes.
+        assert!(lint_prometheus("metric{k=\"a, b (c)\",j=\"x\"} 1\n").is_ok());
+        assert!(lint_prometheus("metric{k=\"a \\\"b\\\", c\"} 1\n").is_ok());
+        assert!(lint_prometheus("metric{k=\"open} 1\n").is_err());
+        assert!(lint_prometheus("metric{k=\"v\"junk} 1\n").is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut r = Registry::for_schema(&TEST_SCHEMA);
+        r.add(ARRIVAL, 11);
+        r.observe(DEPTH, 6);
+        r.span_ns(PHASE, 5);
+        r.trace(TraceEvent {
+            time_s: 2.5,
+            kind: 0,
+            value: 1,
+        });
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn span_stats_merge_is_order_independent() {
+        let mut a = SpanStats::default();
+        let mut b = SpanStats::default();
+        a.record(10);
+        a.record(90);
+        b.record(40);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let empty = SpanStats::default();
+        let mut with_empty = a;
+        with_empty.merge(&empty);
+        assert_eq!(with_empty, a);
+        assert_eq!(a.mean_ns(), 50.0);
+        assert_eq!(empty.mean_ns(), 0.0);
+    }
+}

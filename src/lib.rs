@@ -11,6 +11,11 @@
 //! * [`sweep`] — declarative scenario specs and the deterministic
 //!   parallel experiment engine (`facs-sweep`).
 //!
+//! The `telemetry` cargo feature switches the default simulator recorder
+//! from the zero-cost no-op to a live registry (see
+//! [`cellsim::telemetry`] and the README's Observability section);
+//! reports are byte-identical either way.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -36,6 +41,7 @@ pub use sweep;
 
 /// Commonly used types from every crate in the workspace.
 pub mod prelude {
+    pub use cellsim::telemetry::{NoopRecorder, Recorder, Registry, TelemetrySnapshot};
     pub use cellsim::traffic::TrafficConfig;
     pub use cellsim::{
         AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, BaseStation,
@@ -51,7 +57,7 @@ pub mod prelude {
     pub use scc::{SccAdmission, SccConfig};
     pub use sweep::{
         all_builtins, builtin, builtin_names, host_parallelism, ControllerSpec, CurveReport,
-        LoadMode, PointReport, RunReport, ScenarioSpec, SweepRunner,
+        LoadMode, PointReport, RunReport, ScenarioSpec, SweepProgress, SweepRunner,
     };
 }
 
