@@ -210,6 +210,7 @@ pub fn figure_scenario(
         cell_radius_m: 1000.0,
         station_capacity: 40,
         traffic,
+        traffic_model: cellsim::TrafficModel::Poisson,
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: kinds.iter().map(ControllerKind::spec).collect(),

@@ -18,7 +18,7 @@ use cellsim::station::BaseStation;
 use cellsim::telemetry::{
     LabelPair, NoopRecorder, Recorder, Registry, SpanSnapshot, TelemetrySnapshot,
 };
-use cellsim::traffic::ServiceClass;
+use cellsim::traffic::{MmppConfig, ServiceClass, TrafficModel};
 use facs::{FacsController, FacsPController, Flc1, Flc2};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -544,6 +544,37 @@ fn time_sim_events_with<R: Recorder>(
     (case, sim.telemetry())
 }
 
+/// Time the engine under bursty MMPP arrivals (the `flash_crowd`
+/// preset on the paper's cell), reporting nanoseconds per processed
+/// event of the fastest run.  The bursty generator's state machine sits
+/// on the arrival pre-generation path, so this case pins its cost
+/// relative to the plain-Poisson `sim/` case above; the request count
+/// stays in the name for the same quick-vs-full reason.
+fn time_burst_events(controller: &mut dyn AdmissionController, quick: bool) -> PerfCase {
+    let requests = if quick { 4_000 } else { 20_000 };
+    let runs = if quick { 3 } else { 5 };
+    let config = SimConfig::paper_default()
+        .with_seed(0xBEEF)
+        .with_traffic_model(TrafficModel::Mmpp(MmppConfig::flash_crowd()));
+    let mut sim = Simulator::<NoopRecorder>::with_telemetry(config.clone());
+    std::hint::black_box(sim.run_poisson(controller, requests));
+    let mut events = 0u64;
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..runs {
+        sim.reset(config.clone());
+        let start = Instant::now();
+        std::hint::black_box(sim.run_poisson(controller, requests));
+        let elapsed = start.elapsed();
+        events += sim.events_processed();
+        best_ns = best_ns.min(elapsed.as_nanos() as f64 / sim.events_processed() as f64);
+    }
+    PerfCase {
+        name: format!("sim/burst events (mmpp flash-crowd, always-accept, {requests} req)"),
+        ns_per_iter: best_ns,
+        iters: events,
+    }
+}
+
 /// Time full paper-default sweeps at one worker count, reporting
 /// nanoseconds *per finished cell* of the fastest run (so
 /// `1e9 / ns_per_iter` is cells per second).  Quick mode sweeps the
@@ -826,6 +857,9 @@ pub fn run_with_telemetry(quick: bool) -> (PerfReport, TelemetrySnapshot) {
         &mut FacsPController::paper_default_lut(),
         quick,
     ));
+    // The same engine under bursty MMPP arrivals, pinning the bursty
+    // generator's cost next to the plain-Poisson case.
+    cases.push(time_burst_events(&mut AlwaysAccept, quick));
 
     // --- end-to-end sweep throughput at 1/2/4 workers --------------------
     let mut sweep_cells_per_sec = Vec::new();
@@ -919,6 +953,9 @@ mod tests {
             .is_some());
         assert!(report
             .case("sim/paper-default poisson events (facs-p-lut, 4000 req)")
+            .is_some());
+        assert!(report
+            .case("sim/burst events (mmpp flash-crowd, always-accept, 4000 req)")
             .is_some());
         for threads in [1, 2, 4] {
             assert!(report

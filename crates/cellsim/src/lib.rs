@@ -23,7 +23,8 @@
 //! * [`mobility`] — user kinematic state (position, speed, heading), the
 //!   angle-to-base-station computation used by FLC1, and mobility models.
 //! * [`traffic`] — service classes, bandwidth units, the paper's traffic mix
-//!   and Poisson/exponential call generators.
+//!   and Poisson/exponential call generators, plus the bursty arrival
+//!   models (trace replay, MMPP, correlated groups) in [`traffic::model`].
 //! * [`station`] — base stations: capacity bookkeeping and the real-time /
 //!   non-real-time occupancy counters (RTC / NRTC) used by FACS-P.
 //! * [`event`] — the discrete-event queue (small `Copy` events over dense
@@ -69,7 +70,10 @@ pub use sim::{
 };
 pub use slab::{Slab, SlotId};
 pub use station::{BaseStation, StationError};
-pub use traffic::{CallRequest, ServiceClass, TrafficGenerator, TrafficMix};
+pub use traffic::{
+    CallRequest, DurationPolicy, GroupConfig, MmppConfig, MmppState, ServiceClass, TraceConfig,
+    TraceEntry, TraceError, TrafficGenerator, TrafficMix, TrafficModel,
+};
 
 /// Bandwidth unit (BU) type used throughout the simulator.
 ///

@@ -52,7 +52,7 @@ use crate::sim::{AdmissionController, AdmissionDecision, AdmissionRequest, SimCo
 use crate::slab::{Slab, SlotId};
 use crate::station::BaseStation;
 use crate::telem::{self, DefaultRecorder};
-use crate::traffic::{CallRequest, ServiceClass, TrafficGenerator};
+use crate::traffic::{CallRequest, ServiceClass, SpawnCellAssigner, TrafficGenerator};
 use crate::{Bandwidth, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -874,20 +874,19 @@ impl<R: Recorder> ShardedSimulator<R> {
         // the same derived streams as the sequential engine — and, being
         // pre-sharding, identical for every shard count.
         let base_rng = SimRng::new(self.config.seed).derive(0xD15C);
-        let mut generator =
-            TrafficGenerator::new(self.config.traffic.clone(), base_rng.derive(2).seed());
+        let mut generator = TrafficGenerator::with_model(
+            self.config.traffic.clone(),
+            &self.config.traffic_model,
+            base_rng.derive(2).seed(),
+        );
         let mut arrivals = std::mem::take(&mut self.arrivals);
         generator.generate_poisson_into(total_requests, &mut arrivals);
         let mut spawn_rng = base_rng.derive(3);
-        let single_cell = self.grid.len() == 1;
+        let mut spawn_cells = SpawnCellAssigner::new(&self.config.traffic_model);
         self.arrival_cells.clear();
         self.arrival_cells.reserve(arrivals.len());
-        for _ in 0..arrivals.len() {
-            let cell = if single_cell {
-                0
-            } else {
-                spawn_rng.uniform_u32(0, (self.grid.len() - 1) as u32)
-            };
+        for call in &arrivals {
+            let cell = spawn_cells.assign(call.arrival_time, self.grid.len(), &mut spawn_rng);
             self.arrival_cells.push(cell);
         }
         for (i, &cell) in self.arrival_cells.iter().enumerate() {

@@ -20,7 +20,9 @@ use crate::rng::SimRng;
 use crate::slab::{Slab, SlotId};
 use crate::station::{ActiveConnection, BaseStation};
 use crate::telem::{self, DefaultRecorder};
-use crate::traffic::{CallRequest, ServiceClass, TrafficConfig, TrafficGenerator};
+use crate::traffic::{
+    CallRequest, ServiceClass, SpawnCellAssigner, TrafficConfig, TrafficGenerator, TrafficModel,
+};
 use crate::{Bandwidth, SimTime};
 use serde::{Deserialize, Serialize};
 use telemetry::{Recorder, Stopwatch, TelemetrySnapshot};
@@ -257,6 +259,10 @@ pub struct SimConfig {
     pub station_capacity: Bandwidth,
     /// Workload parameters.
     pub traffic: TrafficConfig,
+    /// Arrival process (defaults to the paper's Poisson model; absent in
+    /// serialized configs from before the field existed).
+    #[serde(default)]
+    pub traffic_model: TrafficModel,
     /// Mobility model used for admitted users in multi-cell runs.
     pub mobility: MobilityModel,
     /// RNG seed.
@@ -279,6 +285,7 @@ impl SimConfig {
             cell_radius_m: 1000.0,
             station_capacity: 40,
             traffic: TrafficConfig::paper_default(),
+            traffic_model: TrafficModel::Poisson,
             mobility: MobilityModel::paper_default(),
             seed: 0xFAC5,
             utilization_sample_interval_s: 0.0,
@@ -297,6 +304,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
         self.traffic = traffic;
+        self
+    }
+
+    /// Override the arrival process (see [`TrafficModel`]).
+    #[must_use]
+    pub fn with_traffic_model(mut self, model: TrafficModel) -> Self {
+        self.traffic_model = model;
         self
     }
 
@@ -599,8 +613,11 @@ impl<R: Recorder> Simulator<R> {
         n: usize,
     ) -> SimReport {
         let watch = Stopwatch::started(R::ENABLED);
-        let mut generator =
-            TrafficGenerator::new(self.config.traffic.clone(), self.rng.derive(1).seed());
+        let mut generator = TrafficGenerator::with_model(
+            self.config.traffic.clone(),
+            &self.config.traffic_model,
+            self.rng.derive(1).seed(),
+        );
         let mut requests = std::mem::take(&mut self.arrivals);
         generator.generate_batch_into(n, &mut requests);
         self.offer_requests(controller, &requests);
@@ -705,11 +722,15 @@ impl<R: Recorder> Simulator<R> {
         total_requests: usize,
     ) -> SimReport {
         let watch = Stopwatch::started(R::ENABLED);
-        let mut generator =
-            TrafficGenerator::new(self.config.traffic.clone(), self.rng.derive(2).seed());
+        let mut generator = TrafficGenerator::with_model(
+            self.config.traffic.clone(),
+            &self.config.traffic_model,
+            self.rng.derive(2).seed(),
+        );
         let mut arrivals = std::mem::take(&mut self.arrivals);
         generator.generate_poisson_into(total_requests, &mut arrivals);
         let mut spawn_rng = self.rng.derive(3);
+        let mut spawn_cells = SpawnCellAssigner::new(&self.config.traffic_model);
 
         let origin = self
             .grid
@@ -753,7 +774,7 @@ impl<R: Recorder> Simulator<R> {
                 let cell = if single_cell {
                     origin
                 } else {
-                    CellIdx(spawn_rng.uniform_u32(0, (self.grid.len() - 1) as u32))
+                    CellIdx(spawn_cells.assign(time, self.grid.len(), &mut spawn_rng))
                 };
                 self.handle_arrival(controller, cell, &call);
                 continue;

@@ -4,11 +4,22 @@
 //! up 70 %, 20 % and 10 % of requests and require 1, 5 and 10 bandwidth
 //! units respectively.  Voice and video are *real-time* services (they feed
 //! the RTC counter of FACS-P); text is *non-real-time* (NRTC).
+//!
+//! Arrivals default to the paper's Poisson process; the [`model`]
+//! submodule adds bursty alternatives (trace replay, MMPP, correlated
+//! groups) selected through [`TrafficModel`] — see `docs/TRAFFIC_MODELS.md`.
+
+pub mod model;
 
 use crate::geometry::normalize_angle;
 use crate::rng::SimRng;
 use crate::{Bandwidth, SimTime};
 use serde::{Deserialize, Serialize};
+
+pub use model::{
+    parse_trace, DurationPolicy, GroupConfig, MmppConfig, MmppState, SpawnCellAssigner,
+    TraceConfig, TraceEntry, TraceError, TrafficModel,
+};
 
 /// The three multimedia service classes of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -296,6 +307,39 @@ impl Default for TrafficConfig {
     }
 }
 
+/// Run-time state of the selected [`TrafficModel`].
+///
+/// The `Poisson` variant carries no data, so the default construction
+/// path stays allocation-free and draw-for-draw identical to the
+/// historical generator.
+#[derive(Debug, Clone)]
+enum ModelRuntime {
+    Poisson,
+    Mmpp {
+        states: Vec<model::MmppState>,
+        state: usize,
+        next_transition: SimTime,
+    },
+    Trace {
+        entries: Vec<model::TraceEntry>,
+        duration: model::DurationPolicy,
+        loop_replay: bool,
+        pos: usize,
+    },
+    Groups {
+        config: model::GroupConfig,
+        remaining: u32,
+    },
+}
+
+/// Per-request overrides supplied by the active model (`None` keeps the
+/// historical draw for that attribute).
+#[derive(Debug, Clone, Copy, Default)]
+struct RequestOverrides {
+    class: Option<ServiceClass>,
+    holding: Option<SimTime>,
+}
+
 /// Stochastic call-request generator.
 #[derive(Debug, Clone)]
 pub struct TrafficGenerator {
@@ -303,6 +347,7 @@ pub struct TrafficGenerator {
     rng: SimRng,
     next_id: u64,
     clock: SimTime,
+    model: ModelRuntime,
 }
 
 impl TrafficGenerator {
@@ -314,6 +359,54 @@ impl TrafficGenerator {
             rng: SimRng::new(seed),
             next_id: 0,
             clock: 0.0,
+            model: ModelRuntime::Poisson,
+        }
+    }
+
+    /// Create a generator driving the given arrival [`TrafficModel`].
+    ///
+    /// With [`TrafficModel::Poisson`] this is draw-for-draw identical to
+    /// [`TrafficGenerator::new`]; the other models reshape the arrival
+    /// *times* (and, for trace replay, the class/duration of each call)
+    /// while speed, angle and handoff draws keep their historical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` fails [`TrafficModel::validate`] — validate
+    /// first when the model comes from user input.
+    #[must_use]
+    pub fn with_model(config: TrafficConfig, traffic_model: &TrafficModel, seed: u64) -> Self {
+        if let Err(reason) = traffic_model.validate() {
+            panic!("invalid traffic model: {reason}");
+        }
+        let mut rng = SimRng::new(seed);
+        let model = match traffic_model {
+            TrafficModel::Poisson => ModelRuntime::Poisson,
+            TrafficModel::Mmpp(mmpp) => {
+                let next_transition = rng.exponential(mmpp.states[0].mean_sojourn_s);
+                ModelRuntime::Mmpp {
+                    states: mmpp.states.clone(),
+                    state: 0,
+                    next_transition,
+                }
+            }
+            TrafficModel::Trace(trace) => ModelRuntime::Trace {
+                entries: trace.entries.clone(),
+                duration: trace.duration,
+                loop_replay: trace.loop_replay,
+                pos: 0,
+            },
+            TrafficModel::Groups(groups) => ModelRuntime::Groups {
+                config: *groups,
+                remaining: 0,
+            },
+        };
+        Self {
+            config,
+            rng,
+            next_id: 0,
+            clock: 0.0,
+            model,
         }
     }
 
@@ -329,21 +422,28 @@ impl TrafficGenerator {
         self.next_id
     }
 
-    /// Generate the next request using Poisson arrivals (exponential
-    /// inter-arrival times) starting from the internal clock.
+    /// Generate the next request: the active [`TrafficModel`] advances
+    /// the internal clock (exponential gaps for the default Poisson
+    /// model) and may pin the class/duration (trace replay).
     pub fn next_request(&mut self) -> CallRequest {
-        let gap = self.rng.exponential(self.config.mean_interarrival_s);
-        self.clock += gap;
+        let overrides = self.advance_clock();
         let at = self.clock;
-        self.make_request(at)
+        self.make_request_with(at, overrides)
     }
 
     /// Generate a batch of `n` requests all offered at time zero — the shape
     /// of the paper's "number of requesting connections" sweeps, where a
     /// growing population of users asks for admission against the same
-    /// 40-BU base station.
+    /// 40-BU base station.  A trace-replay model still pins each request's
+    /// class and duration; time-structure models (MMPP, groups) have no
+    /// effect because every request is offered at once.
     pub fn generate_batch(&mut self, n: usize) -> Vec<CallRequest> {
-        (0..n).map(|_| self.make_request(0.0)).collect()
+        (0..n)
+            .map(|_| {
+                let overrides = self.batch_overrides();
+                self.make_request_with(0.0, overrides)
+            })
+            .collect()
     }
 
     /// [`TrafficGenerator::generate_batch`] into a reused buffer (`out` is
@@ -353,7 +453,9 @@ impl TrafficGenerator {
         out.clear();
         out.reserve(n);
         for _ in 0..n {
-            out.push(self.make_request(0.0));
+            let overrides = self.batch_overrides();
+            let req = self.make_request_with(0.0, overrides);
+            out.push(req);
         }
     }
 
@@ -373,10 +475,112 @@ impl TrafficGenerator {
         }
     }
 
-    fn make_request(&mut self, at: SimTime) -> CallRequest {
-        let class = self.config.mix.sample_class(&mut self.rng);
+    /// Advance the clock to the next arrival per the active model and
+    /// return any class/duration overrides it dictates.
+    fn advance_clock(&mut self) -> RequestOverrides {
+        match &mut self.model {
+            ModelRuntime::Poisson => {
+                let gap = self.rng.exponential(self.config.mean_interarrival_s);
+                self.clock += gap;
+                RequestOverrides::default()
+            }
+            ModelRuntime::Mmpp {
+                states,
+                state,
+                next_transition,
+            } => loop {
+                let current = states[*state];
+                if current.rate_multiplier > 0.0 {
+                    let mean = self.config.mean_interarrival_s / current.rate_multiplier;
+                    let t = self.clock + self.rng.exponential(mean);
+                    if t <= *next_transition {
+                        self.clock = t;
+                        return RequestOverrides::default();
+                    }
+                }
+                // Cross into the next modulation state.  The exponential
+                // gap is memoryless, so redrawing from the transition
+                // time leaves the per-state arrival law exact; a
+                // zero-rate state jumps straight to its transition.
+                self.clock = *next_transition;
+                *state = (*state + 1) % states.len();
+                *next_transition = self.clock + self.rng.exponential(states[*state].mean_sojourn_s);
+            },
+            ModelRuntime::Trace {
+                entries,
+                duration,
+                loop_replay,
+                pos,
+            } => {
+                if *pos >= entries.len() {
+                    if *loop_replay {
+                        *pos = 0;
+                    } else {
+                        // Trace exhausted: fall back to plain Poisson.
+                        let gap = self.rng.exponential(self.config.mean_interarrival_s);
+                        self.clock += gap;
+                        return RequestOverrides::default();
+                    }
+                }
+                let entry = entries[*pos];
+                *pos += 1;
+                self.clock += entry.inter_arrival_s;
+                trace_overrides(entry, *duration)
+            }
+            ModelRuntime::Groups { config, remaining } => {
+                if *remaining > 0 {
+                    // Followers share the leader's arrival time exactly
+                    // (the clock does not move), which is also how the
+                    // spawn-cell assigner recognises them.
+                    *remaining -= 1;
+                } else {
+                    // Leader gaps are stretched by the mean group size so
+                    // the long-run call rate matches plain Poisson.
+                    let mean = self.config.mean_interarrival_s * config.mean_size();
+                    self.clock += self.rng.exponential(mean);
+                    let size = self.rng.uniform_u32(config.min_size, config.max_size);
+                    *remaining = size.saturating_sub(1);
+                }
+                RequestOverrides::default()
+            }
+        }
+    }
+
+    /// Overrides for a time-zero batch request: only trace replay has an
+    /// effect (it pins class and duration); time-structure models do not.
+    fn batch_overrides(&mut self) -> RequestOverrides {
+        match &mut self.model {
+            ModelRuntime::Trace {
+                entries,
+                duration,
+                loop_replay,
+                pos,
+            } => {
+                if *pos >= entries.len() {
+                    if *loop_replay {
+                        *pos = 0;
+                    } else {
+                        return RequestOverrides::default();
+                    }
+                }
+                let entry = entries[*pos];
+                *pos += 1;
+                trace_overrides(entry, *duration)
+            }
+            _ => RequestOverrides::default(),
+        }
+    }
+
+    fn make_request_with(&mut self, at: SimTime, overrides: RequestOverrides) -> CallRequest {
+        let class = match overrides.class {
+            Some(class) => class,
+            None => self.config.mix.sample_class(&mut self.rng),
+        };
         let bandwidth = self.config.mix.bandwidth_of(class);
-        let holding = self.rng.exponential(self.config.mean_holding_s).max(1.0);
+        let holding = match overrides.holding {
+            Some(holding) => holding,
+            None => self.rng.exponential(self.config.mean_holding_s).max(1.0),
+        };
         let speed = self
             .rng
             .uniform(self.config.min_speed_kmh, self.config.max_speed_kmh)
@@ -416,6 +620,23 @@ impl TrafficGenerator {
         };
         self.next_id += 1;
         req
+    }
+}
+
+/// The class/duration overrides one trace entry dictates under the given
+/// duration policy.
+fn trace_overrides(entry: model::TraceEntry, duration: model::DurationPolicy) -> RequestOverrides {
+    let holding = match duration {
+        model::DurationPolicy::FromTrace => Some(entry.duration_s),
+        model::DurationPolicy::Fixed { duration_s } => Some(duration_s),
+        model::DurationPolicy::Bounded { min_s, max_s } => {
+            Some(entry.duration_s.clamp(min_s, max_s))
+        }
+        model::DurationPolicy::Randomized => None,
+    };
+    RequestOverrides {
+        class: Some(entry.class),
+        holding,
     }
 }
 
@@ -584,6 +805,169 @@ mod tests {
         let mut gen = TrafficGenerator::new(cfg, 5);
         let r = gen.generate_batch(1).remove(0);
         assert_eq!(r.angle_deg, -90.0);
+    }
+
+    #[test]
+    fn poisson_model_matches_plain_generator() {
+        let cfg = TrafficConfig::paper_default();
+        let plain_p = TrafficGenerator::new(cfg.clone(), 31).generate_poisson(300);
+        let model_p = TrafficGenerator::with_model(cfg.clone(), &TrafficModel::Poisson, 31)
+            .generate_poisson(300);
+        assert_eq!(plain_p, model_p);
+        let plain_b = TrafficGenerator::new(cfg.clone(), 31).generate_batch(300);
+        let model_b =
+            TrafficGenerator::with_model(cfg, &TrafficModel::Poisson, 31).generate_batch(300);
+        assert_eq!(plain_b, model_b);
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_and_bursty() {
+        let cfg = TrafficConfig::paper_default();
+        let model = TrafficModel::Mmpp(MmppConfig::flash_crowd());
+        let a = TrafficGenerator::with_model(cfg.clone(), &model, 99).generate_poisson(2000);
+        let b = TrafficGenerator::with_model(cfg.clone(), &model, 99).generate_poisson(2000);
+        assert_eq!(a, b);
+        let other_seed =
+            TrafficGenerator::with_model(cfg.clone(), &model, 100).generate_poisson(2000);
+        assert_ne!(a, other_seed);
+        for w in a.windows(2) {
+            assert!(w[1].arrival_time >= w[0].arrival_time);
+        }
+        // Burstiness: the squared coefficient of variation of the gaps
+        // must exceed the exponential's 1.0 by a clear margin.
+        let gaps: Vec<f64> = a
+            .windows(2)
+            .map(|w| w[1].arrival_time - w[0].arrival_time)
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let scv = var / (mean * mean);
+        assert!(
+            scv > 1.3,
+            "MMPP gaps should be over-dispersed, SCV = {scv:.2}"
+        );
+        // The rate-preserving preset keeps the long-run rate near the base.
+        assert!((mean - 30.0).abs() < 6.0, "mean gap {mean:.1}");
+    }
+
+    #[test]
+    fn zero_rate_mmpp_states_are_silent() {
+        let cfg = TrafficConfig::paper_default();
+        // on/off process: silence alternating with 2x bursts.
+        let model = TrafficModel::Mmpp(MmppConfig::new().state(0.0, 60.0).state(2.0, 60.0));
+        let reqs = TrafficGenerator::with_model(cfg, &model, 5).generate_poisson(500);
+        assert_eq!(reqs.len(), 500);
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival_time >= w[0].arrival_time);
+        }
+    }
+
+    #[test]
+    fn trace_replay_pins_times_classes_and_durations() {
+        let cfg = TrafficConfig::paper_default();
+        let trace = TraceConfig::from_text("5.0 60.0 voice\n10.0 120.0 video\n").unwrap();
+        let model = TrafficModel::Trace(trace);
+        let reqs = TrafficGenerator::with_model(cfg, &model, 1).generate_poisson(5);
+        let times: Vec<f64> = reqs.iter().map(|r| r.arrival_time).collect();
+        assert_eq!(times, vec![5.0, 15.0, 20.0, 30.0, 35.0]); // loops after 2 entries
+        assert_eq!(reqs[0].class, ServiceClass::Voice);
+        assert_eq!(reqs[1].class, ServiceClass::Video);
+        assert_eq!(reqs[2].class, ServiceClass::Voice);
+        assert_eq!(reqs[0].holding_time, 60.0);
+        assert_eq!(reqs[1].holding_time, 120.0);
+        assert_eq!(reqs[0].bandwidth, ServiceClass::Voice.paper_bandwidth());
+    }
+
+    #[test]
+    fn trace_duration_policies() {
+        let cfg = TrafficConfig::paper_default();
+        let base = TraceConfig::from_text("5.0 200.0 voice\n").unwrap();
+        let fixed = TrafficModel::Trace(
+            base.clone()
+                .with_duration(DurationPolicy::Fixed { duration_s: 42.0 }),
+        );
+        let r = TrafficGenerator::with_model(cfg.clone(), &fixed, 1).next_request();
+        assert_eq!(r.holding_time, 42.0);
+        let bounded = TrafficModel::Trace(base.clone().with_duration(DurationPolicy::Bounded {
+            min_s: 10.0,
+            max_s: 90.0,
+        }));
+        let r = TrafficGenerator::with_model(cfg.clone(), &bounded, 1).next_request();
+        assert_eq!(r.holding_time, 90.0);
+        let randomized = TrafficModel::Trace(base.with_duration(DurationPolicy::Randomized));
+        let a = TrafficGenerator::with_model(cfg.clone(), &randomized, 1).next_request();
+        let b = TrafficGenerator::with_model(cfg, &randomized, 1).next_request();
+        assert_eq!(a.holding_time, b.holding_time, "still seed-deterministic");
+        assert!(a.holding_time >= 1.0);
+        assert_ne!(a.holding_time, 200.0);
+    }
+
+    #[test]
+    fn exhausted_trace_falls_back_to_poisson() {
+        let cfg = TrafficConfig::paper_default();
+        let trace = TraceConfig::from_text("5.0 60.0 voice\n")
+            .unwrap()
+            .with_loop_replay(false);
+        let model = TrafficModel::Trace(trace);
+        let reqs = TrafficGenerator::with_model(cfg, &model, 8).generate_poisson(50);
+        assert_eq!(reqs[0].arrival_time, 5.0);
+        assert_eq!(reqs[0].class, ServiceClass::Voice);
+        // The Poisson tail keeps strictly increasing times and draws all
+        // three classes eventually.
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival_time >= w[0].arrival_time);
+        }
+        assert!(reqs[1..].iter().any(|r| r.class == ServiceClass::Text));
+    }
+
+    #[test]
+    fn trace_batch_mode_pins_class_and_duration() {
+        let cfg = TrafficConfig::paper_default();
+        let trace = TraceConfig::from_text("5.0 60.0 voice\n7.0 30.0 video\n").unwrap();
+        let model = TrafficModel::Trace(trace);
+        let reqs = TrafficGenerator::with_model(cfg, &model, 8).generate_batch(4);
+        for r in &reqs {
+            assert_eq!(r.arrival_time, 0.0);
+        }
+        assert_eq!(reqs[0].class, ServiceClass::Voice);
+        assert_eq!(reqs[1].class, ServiceClass::Video);
+        assert_eq!(reqs[2].class, ServiceClass::Voice);
+        assert_eq!(reqs[3].holding_time, 30.0);
+    }
+
+    #[test]
+    fn group_arrivals_share_times_and_preserve_rate() {
+        let cfg = TrafficConfig::paper_default();
+        let model = TrafficModel::Groups(GroupConfig::new(4, 4));
+        let reqs = TrafficGenerator::with_model(cfg, &model, 3).generate_poisson(4000);
+        // Exactly groups of 4 share each arrival time.
+        let mut run = 1usize;
+        let mut runs = Vec::new();
+        for w in reqs.windows(2) {
+            if w[1].arrival_time.to_bits() == w[0].arrival_time.to_bits() {
+                run += 1;
+            } else {
+                runs.push(run);
+                run = 1;
+            }
+        }
+        runs.push(run);
+        assert!(runs.iter().all(|&r| r == 4), "group sizes {runs:?}");
+        // Leader gaps are stretched 4x, so the long-run per-call rate
+        // stays near the base 30 s mean.
+        let total = reqs.last().unwrap().arrival_time;
+        let mean = total / reqs.len() as f64;
+        assert!((mean - 30.0).abs() < 8.0, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid traffic model")]
+    fn with_model_rejects_invalid_models() {
+        let _ = TrafficGenerator::with_model(
+            TrafficConfig::paper_default(),
+            &TrafficModel::Mmpp(MmppConfig::new()),
+            1,
+        );
     }
 
     #[test]

@@ -4,7 +4,10 @@ use cellsim::geometry::{normalize_angle, CellGrid, CellId, Point};
 use cellsim::mobility::UserState;
 use cellsim::sim::{AlwaysAccept, CapacityThreshold, SimConfig, Simulator};
 use cellsim::station::BaseStation;
-use cellsim::traffic::{ServiceClass, TrafficConfig, TrafficGenerator};
+use cellsim::traffic::{
+    DurationPolicy, GroupConfig, MmppConfig, ServiceClass, TraceConfig, TraceEntry, TrafficConfig,
+    TrafficGenerator, TrafficModel,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -186,5 +189,62 @@ proptest! {
             (r.accepted, r.metrics.bandwidth_admitted())
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Every bursty model is a pure function of its seed: two generators
+    /// built from the same `(model, seed)` pair must emit bit-identical
+    /// request streams (arrival-time bits, class, holding-time bits).
+    #[test]
+    fn bursty_models_are_bit_identical_for_identical_seeds(
+        seed in 0u64..500,
+        model_idx in 0usize..3,
+        n in 1usize..200,
+    ) {
+        let model = match model_idx {
+            0 => TrafficModel::Mmpp(MmppConfig::flash_crowd()),
+            1 => TrafficModel::Trace(
+                TraceConfig::new(vec![
+                    TraceEntry { inter_arrival_s: 0.5, duration_s: 60.0, class: ServiceClass::Voice },
+                    TraceEntry { inter_arrival_s: 4.0, duration_s: 10.0, class: ServiceClass::Text },
+                ])
+                .with_duration(DurationPolicy::Randomized),
+            ),
+            _ => TrafficModel::Groups(GroupConfig::new(2, 9)),
+        };
+        let stream = |m: &TrafficModel| -> Vec<(u64, ServiceClass, u64)> {
+            let mut generator =
+                TrafficGenerator::with_model(TrafficConfig::paper_default(), m, seed);
+            (0..n)
+                .map(|_| {
+                    let call = generator.next_request();
+                    (call.arrival_time.to_bits(), call.class, call.holding_time.to_bits())
+                })
+                .collect()
+        };
+        prop_assert_eq!(stream(&model), stream(&model));
+    }
+
+    /// MMPP arrival times are non-decreasing and finite for any positive
+    /// state parameters — the state-cycling clock can never run backwards
+    /// or produce NaN, whatever the sojourn/rate mix.
+    #[test]
+    fn mmpp_clock_is_monotone_for_any_positive_parameters(
+        seed in 0u64..200,
+        quiet_mult in 0.01f64..1.0,
+        burst_mult in 1.0f64..20.0,
+        sojourn in 1.0f64..500.0,
+        n in 1usize..150,
+    ) {
+        let model = TrafficModel::Mmpp(
+            MmppConfig::new().state(quiet_mult, sojourn).state(burst_mult, sojourn),
+        );
+        let mut generator =
+            TrafficGenerator::with_model(TrafficConfig::paper_default(), &model, seed);
+        let mut last = 0.0f64;
+        for _ in 0..n {
+            let t = generator.next_request().arrival_time;
+            prop_assert!(t.is_finite() && t >= last, "clock went from {last} to {t}");
+            last = t;
+        }
     }
 }

@@ -1,13 +1,16 @@
 //! The built-in scenario library.
 //!
-//! Six ready-to-run [`ScenarioSpec`]s covering the paper's evaluation and
-//! the workloads the ROADMAP asks the system to grow into.  Each is a
-//! plain value: fetch it with [`builtin`], tweak it with the spec's
-//! builders, or dump it with [`ScenarioSpec::to_json`] as a starting point
-//! for a custom spec file.
+//! Ready-to-run [`ScenarioSpec`]s covering the paper's evaluation, the
+//! workloads the ROADMAP asks the system to grow into, and the `burst-*`
+//! non-Poisson variants behind the burstiness study (see
+//! `docs/TRAFFIC_MODELS.md`).  Each is a plain value: fetch it with
+//! [`builtin`], tweak it with the spec's builders, or dump it with
+//! [`ScenarioSpec::to_json`] as a starting point for a custom spec file.
 
 use crate::spec::{ControllerSpec, LoadMode, ScenarioSpec};
-use cellsim::traffic::{TrafficConfig, TrafficMix};
+use cellsim::traffic::{
+    GroupConfig, MmppConfig, TraceConfig, TrafficConfig, TrafficMix, TrafficModel,
+};
 use cellsim::MobilityModel;
 
 /// Names of all built-in scenarios, in presentation order.
@@ -20,6 +23,9 @@ pub fn builtin_names() -> &'static [&'static str] {
         "flash-crowd",
         "mixed-multimedia",
         "metro",
+        "burst-mmpp",
+        "burst-trace",
+        "burst-groups",
     ]
 }
 
@@ -33,6 +39,9 @@ pub fn builtin(name: &str) -> Option<ScenarioSpec> {
         "flash-crowd" => Some(flash_crowd()),
         "mixed-multimedia" => Some(mixed_multimedia()),
         "metro" => Some(metro()),
+        "burst-mmpp" => Some(burst_mmpp()),
+        "burst-trace" => Some(burst_trace()),
+        "burst-groups" => Some(burst_groups()),
         _ => None,
     }
 }
@@ -63,6 +72,7 @@ fn paper_default() -> ScenarioSpec {
             direction_predictability: 1.0,
             ..TrafficConfig::paper_default()
         },
+        traffic_model: TrafficModel::Poisson,
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![
@@ -98,6 +108,7 @@ fn highway_handoff() -> ScenarioSpec {
             direction_predictability: 1.0,
             ..TrafficConfig::paper_default()
         },
+        traffic_model: TrafficModel::Poisson,
         mobility: MobilityModel::ConstantVelocity,
         utilization_sample_interval_s: 60.0,
         controllers: vec![
@@ -132,6 +143,7 @@ fn downtown_hotspot() -> ScenarioSpec {
             max_speed_kmh: 15.0,
             ..TrafficConfig::paper_default()
         },
+        traffic_model: TrafficModel::Poisson,
         mobility: MobilityModel::RandomDirection { max_turn_deg: 60.0 },
         utilization_sample_interval_s: 60.0,
         controllers: vec![
@@ -164,6 +176,7 @@ fn flash_crowd() -> ScenarioSpec {
             max_speed_kmh: 6.0,
             ..TrafficConfig::paper_default()
         },
+        traffic_model: TrafficModel::Poisson,
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![
@@ -199,6 +212,7 @@ fn mixed_multimedia() -> ScenarioSpec {
             direction_predictability: 1.0,
             ..TrafficConfig::paper_default()
         },
+        traffic_model: TrafficModel::Poisson,
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![
@@ -248,6 +262,7 @@ fn metro() -> ScenarioSpec {
             direction_predictability: 1.0,
             ..TrafficConfig::paper_default()
         },
+        traffic_model: TrafficModel::Poisson,
         mobility: MobilityModel::ConstantVelocity,
         utilization_sample_interval_s: 60.0,
         controllers: vec![
@@ -261,6 +276,95 @@ fn metro() -> ScenarioSpec {
         load_points: vec![200_000, 600_000, 1_800_000],
         replications: 1,
         base_seed: 0x3E7,
+    }
+}
+
+/// The paper's Figs. 7–10 sweep re-run under a Markov-modulated Poisson
+/// process: the same single 40-BU cell, mix, controllers and load axis
+/// as `paper-default`, but arrivals alternate between a quiet quarter-rate
+/// background and 4x flash bursts ([`MmppConfig::flash_crowd`]).  The
+/// process is rate-preserving (time-average multiplier 1), so each load
+/// point offers the same long-run traffic as the Poisson original —
+/// every acceptance difference against `paper-default` is the burstiness
+/// itself.  This is the headline scenario of the FACS-vs-SCC burstiness
+/// study (`examples/burst_study.rs`).
+fn burst_mmpp() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "burst-mmpp".to_string(),
+        description: "paper-default under rate-preserving MMPP flash bursts \
+                      (quiet 0.25x / burst 4x)"
+            .to_string(),
+        traffic_model: TrafficModel::Mmpp(MmppConfig::flash_crowd()),
+        base_seed: 0xB0057,
+        ..paper_default()
+    }
+}
+
+/// A recorded stadium-exit arrival pattern replayed against the paper's
+/// cell: clustered bursts of voice/video with a long quiet tail, looped
+/// for the length of the run.  The load axis is the run length
+/// ([`LoadMode::TotalRequests`]) — the arrival *rate* is pinned by the
+/// trace, so longer runs tighten the estimate rather than raising load.
+fn burst_trace() -> ScenarioSpec {
+    let trace = TraceConfig::from_text(
+        "# stadium-exit recording: two clustered bursts per ~3-minute cycle\n\
+         0.0    90.0  voice\n\
+         0.4   180.0  video\n\
+         0.7    45.0  text\n\
+         1.2   120.0  voice\n\
+         2.0    60.0  text\n\
+         3.5   240.0  video\n\
+         45.0   75.0  voice\n\
+         0.3    30.0  text\n\
+         0.8   150.0  voice\n\
+         1.5    90.0  text\n\
+         2.2   300.0  video\n\
+         120.0  60.0  voice\n",
+    )
+    .expect("the embedded trace is well-formed");
+    ScenarioSpec {
+        name: "burst-trace".to_string(),
+        description: "Looped replay of a recorded stadium-exit arrival trace \
+                      against the paper's 40-BU cell"
+            .to_string(),
+        grid_radius_cells: 0,
+        cell_radius_m: 1000.0,
+        station_capacity: 40,
+        traffic: TrafficConfig {
+            mean_holding_s: 180.0,
+            direction_predictability: 1.0,
+            ..TrafficConfig::paper_default()
+        },
+        traffic_model: TrafficModel::Trace(trace),
+        mobility: MobilityModel::paper_default(),
+        utilization_sample_interval_s: 0.0,
+        controllers: vec![
+            ControllerSpec::FacsP,
+            ControllerSpec::Facs,
+            ControllerSpec::Scc,
+        ],
+        load_mode: LoadMode::TotalRequests,
+        load_points: vec![240, 480, 960],
+        replications: 10,
+        base_seed: 0x7ACE,
+    }
+}
+
+/// The highway-handoff network under correlated group arrivals: trains of
+/// 5–15 calls hit one cell simultaneously (`same_cell`), with leader gaps
+/// stretched so the long-run per-call rate matches `highway-handoff`.
+/// Fast users and small cells keep handoffs frequent, so this is also the
+/// scenario `tests/golden_sharded.rs` pins solo-vs-sharded under bursty
+/// traffic.
+fn burst_groups() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "burst-groups".to_string(),
+        description: "19-cell highway network under correlated same-cell group \
+                      arrivals of 5-15 calls"
+            .to_string(),
+        traffic_model: TrafficModel::Groups(GroupConfig::new(5, 15)),
+        base_seed: 0x6B05,
+        ..highway_handoff()
     }
 }
 

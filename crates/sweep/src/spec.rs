@@ -11,7 +11,7 @@
 
 use cellsim::shard::BoxedController;
 use cellsim::sim::{AlwaysAccept, CapacityThreshold, SimConfig};
-use cellsim::traffic::TrafficConfig;
+use cellsim::traffic::{TrafficConfig, TrafficModel};
 use cellsim::{Bandwidth, MobilityModel};
 use facs::{FacsController, FacsPController};
 use scc::SccAdmission;
@@ -143,6 +143,34 @@ pub struct ScenarioSpec {
     /// mode is [`LoadMode::RequestsPerWindow`] the configured
     /// `mean_interarrival_s` is overridden per load point.
     pub traffic: TrafficConfig,
+    /// The arrival process: Poisson (the paper's workload and the
+    /// default), MMPP bursts, trace replay or correlated groups.
+    ///
+    /// The field is optional in spec JSON — absent means Poisson, so
+    /// every spec written before the field existed parses to the exact
+    /// same experiment:
+    ///
+    /// ```
+    /// use sweep::ScenarioSpec;
+    /// use cellsim::traffic::TrafficModel;
+    ///
+    /// let mut spec = sweep::builtin("paper-default").unwrap();
+    /// assert_eq!(spec.traffic_model, TrafficModel::Poisson);
+    ///
+    /// // A JSON spec without the field round-trips to Poisson...
+    /// let json = spec.to_json().replace("\"traffic_model\": \"Poisson\",", "");
+    /// assert!(!json.contains("traffic_model"));
+    /// assert_eq!(
+    ///     ScenarioSpec::from_json(&json).unwrap().traffic_model,
+    ///     TrafficModel::Poisson,
+    /// );
+    ///
+    /// // ...and a bursty model is validated like the rest of the spec.
+    /// spec.traffic_model = TrafficModel::Mmpp(cellsim::MmppConfig::new());
+    /// assert!(spec.validate().is_err(), "empty MMPP must be rejected");
+    /// ```
+    #[serde(default)]
+    pub traffic_model: TrafficModel,
     /// Mobility model for admitted users in multi-cell runs.
     pub mobility: MobilityModel,
     /// Interval between utilisation samples (seconds); 0 disables sampling.
@@ -243,6 +271,7 @@ impl ScenarioSpec {
             .with_cell_radius(self.cell_radius_m)
             .with_capacity(self.station_capacity)
             .with_traffic(traffic)
+            .with_traffic_model(self.traffic_model.clone())
             .with_mobility(self.mobility.clone())
             .with_utilization_sampling(self.utilization_sample_interval_s)
             .with_seed(self.seed_for(controller, load_index, replication))
@@ -275,6 +304,7 @@ impl ScenarioSpec {
                 )));
             }
         }
+        self.traffic_model.validate().map_err(SpecError::Invalid)?;
         Ok(())
     }
 

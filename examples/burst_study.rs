@@ -1,0 +1,133 @@
+//! Burstiness study: does the paper's FACS-vs-SCC crossover survive
+//! non-Poisson arrivals?
+//!
+//! ```text
+//! cargo run --release --example burst_study
+//! ```
+//!
+//! The paper evaluates FACS / FACS-P against the Shadow Cluster Concept
+//! under memoryless Poisson arrivals only.  This example re-runs the same
+//! single-cell evaluation under three arrival processes — the Poisson
+//! original (`paper-default`), rate-preserving MMPP flash bursts
+//! (`burst-mmpp`) and a looped recorded trace (`burst-trace`) — and prints
+//! the acceptance and dropping curves side by side, plus the load at which
+//! each controller's acceptance falls below SCC's.
+//!
+//! The MMPP scenario offers *exactly* the same long-run load per point as
+//! the Poisson one (its time-average rate multiplier is 1), so any change
+//! in the table is attributable to burstiness alone.  The numbers in
+//! `PAPER.md` ("Beyond the paper: burstiness") and the README are printed
+//! by this binary; re-run it to reproduce them.
+
+use facs_suite::prelude::*;
+
+/// Run one built-in scenario and return its report.
+fn run(name: &str) -> RunReport {
+    let spec = builtin(name).expect("scenario is a built-in");
+    eprintln!(
+        "running {name}: {} controllers x {} loads x {} reps ...",
+        spec.controllers.len(),
+        spec.load_points.len(),
+        spec.replications
+    );
+    SweepRunner::new().run(&spec).expect("built-ins are valid")
+}
+
+fn curve<'a>(report: &'a RunReport, label: &str) -> &'a CurveReport {
+    report
+        .curves
+        .iter()
+        .find(|c| c.controller == label)
+        .expect("controller is part of the scenario")
+}
+
+/// Print one scenario's acceptance table for the shared FACS-P / FACS /
+/// SCC trio.  (Dropping stays 0 in every single-cell scenario — there are
+/// no handoffs to fail — so the table shows acceptance only.)
+fn print_table(report: &RunReport, load_unit: &str) {
+    println!("\n== {} — {}", report.scenario, report.description);
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>12}",
+        load_unit, "FACS-P acc%", "FACS acc%", "SCC acc%"
+    );
+    let facs_p = curve(report, "FACS-P");
+    let facs = curve(report, "FACS");
+    let scc = curve(report, "SCC");
+    for (i, load) in report.load_points.iter().enumerate() {
+        print!("{load:>10}");
+        for c in [facs_p, facs, scc] {
+            print!("  {:>12.1}", c.points[i].acceptance.mean);
+        }
+        println!();
+    }
+}
+
+/// Mean acceptance over the whole load axis — one robustness number per
+/// controller per arrival process.
+fn mean_acceptance(report: &RunReport, controller: &str) -> f64 {
+    let c = curve(report, controller);
+    c.points.iter().map(|p| p.acceptance.mean).sum::<f64>() / c.points.len() as f64
+}
+
+/// First load point at which `controller`'s mean acceptance drops below
+/// SCC's — the crossover after which the admission-rationing fuzzy
+/// controllers accept fewer new calls than the shadow-cluster baseline.
+fn crossover(report: &RunReport, controller: &str) -> Option<usize> {
+    let c = curve(report, controller);
+    let scc = curve(report, "SCC");
+    report
+        .load_points
+        .iter()
+        .enumerate()
+        .find(|&(i, _)| c.points[i].acceptance.mean < scc.points[i].acceptance.mean)
+        .map(|(_, &load)| load)
+}
+
+fn main() {
+    let poisson = run("paper-default");
+    let mmpp = run("burst-mmpp");
+    let trace = run("burst-trace");
+
+    print_table(&poisson, "requests");
+    print_table(&mmpp, "requests");
+    print_table(&trace, "requests");
+
+    println!("\n== Crossover: first load where acceptance falls below SCC ==");
+    println!("{:>14}  {:>10}  {:>10}", "arrivals", "FACS-P", "FACS");
+    for (label, report) in [("poisson", &poisson), ("mmpp", &mmpp)] {
+        let fmt = |c: Option<usize>| c.map_or("never".to_string(), |l| l.to_string());
+        println!(
+            "{:>14}  {:>10}  {:>10}",
+            label,
+            fmt(crossover(report, "FACS-P")),
+            fmt(crossover(report, "FACS"))
+        );
+    }
+
+    // Robustness: how many points of mean acceptance does each controller
+    // lose when the same long-run load arrives in bursts?  MMPP offers
+    // exactly the Poisson load per point, so this difference is pure
+    // burstiness cost.
+    println!("\n== Burstiness cost: mean acceptance over the load axis ==");
+    println!(
+        "{:>14}  {:>10}  {:>10}  {:>10}",
+        "arrivals", "FACS-P", "FACS", "SCC"
+    );
+    for (label, report) in [("poisson", &poisson), ("mmpp", &mmpp), ("trace", &trace)] {
+        println!(
+            "{:>14}  {:>9.1}%  {:>9.1}%  {:>9.1}%",
+            label,
+            mean_acceptance(report, "FACS-P"),
+            mean_acceptance(report, "FACS"),
+            mean_acceptance(report, "SCC")
+        );
+    }
+    let cost = |ctrl: &str| mean_acceptance(&poisson, ctrl) - mean_acceptance(&mmpp, ctrl);
+    println!(
+        "\nmmpp cost vs poisson (points of mean acceptance): \
+         FACS-P {:.1}, FACS {:.1}, SCC {:.1}",
+        cost("FACS-P"),
+        cost("FACS"),
+        cost("SCC")
+    );
+}

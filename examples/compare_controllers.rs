@@ -27,6 +27,7 @@ fn main() {
             direction_predictability: 1.0,
             ..TrafficConfig::paper_default()
         },
+        traffic_model: TrafficModel::Poisson,
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![

@@ -31,6 +31,7 @@ fn hotspot_spec(video_share: f64) -> ScenarioSpec {
             mean_holding_s: 180.0,
             ..TrafficConfig::paper_default()
         },
+        traffic_model: TrafficModel::Poisson,
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![ControllerSpec::FacsP],

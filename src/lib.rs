@@ -45,9 +45,10 @@ pub mod prelude {
     pub use cellsim::traffic::TrafficConfig;
     pub use cellsim::{
         AdmissionController, AdmissionDecision, AdmissionRequest, AlwaysAccept, BaseStation,
-        BoxedController, CallRequest, CapacityThreshold, CellGrid, CellId, Metrics, MobilityModel,
-        Point, ServiceClass, ShardConfig, ShardReport, ShardedSimulator, SimConfig, SimReport,
-        SimRng, Simulator, StatAccumulator, SummaryStats, TrafficGenerator, TrafficMix, UserState,
+        BoxedController, CallRequest, CapacityThreshold, CellGrid, CellId, DurationPolicy,
+        GroupConfig, Metrics, MmppConfig, MobilityModel, Point, ServiceClass, ShardConfig,
+        ShardReport, ShardedSimulator, SimConfig, SimReport, SimRng, Simulator, StatAccumulator,
+        SummaryStats, TraceConfig, TrafficGenerator, TrafficMix, TrafficModel, UserState,
     };
     pub use facs::{
         DifferentiatedService, FacsConfig, FacsController, FacsPConfig, FacsPController, Flc1,

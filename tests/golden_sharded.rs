@@ -15,8 +15,10 @@
 //!    changes with `UPDATE_GOLDEN=1`, mirroring `golden_snapshots.rs`).
 //!
 //! The pinned cases are the 19-cell `highway-handoff` workload (dense
-//! cross-cell handoff traffic on a small grid) and the 2107-cell `metro`
-//! workload at its first load point (cross-shard migration at scale).
+//! cross-cell handoff traffic on a small grid), the 2107-cell `metro`
+//! workload at its first load point (cross-shard migration at scale), and
+//! the `burst-groups` workload (correlated same-cell group arrivals), so
+//! the contract is enforced under bursty, non-Poisson traffic too.
 
 use facs_suite::prelude::*;
 use std::path::PathBuf;
@@ -44,6 +46,12 @@ const CASES: &[Case] = &[
         controller: 1, // capacity threshold
         load_index: 0, // 200k requests
         shardings: &[(4, 2), (16, 4)],
+    },
+    Case {
+        scenario: "burst-groups",
+        controller: 0, // FACS-P
+        load_index: 2, // 2000 requests
+        shardings: &[(2, 1), (5, 2)],
     },
 ];
 

@@ -11,16 +11,21 @@
 //! parameters are carried through; type parameters get a `Serialize` /
 //! `Deserialize` bound appended.
 //!
-//! The only field attribute understood is `#[serde(skip)]` on named
-//! fields: the field is omitted from the serialised form and restored
-//! with `Default::default()` on deserialisation, matching upstream.
+//! Two field attributes are understood on named fields, matching
+//! upstream semantics: `#[serde(skip)]` omits the field from the
+//! serialised form and restores it with `Default::default()` on
+//! deserialisation, and `#[serde(default)]` serialises the field
+//! normally but falls back to `Default::default()` when the key is
+//! absent from the input (backward-compatible format evolution).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// A named struct/variant field, plus whether `#[serde(skip)]` marked it.
+/// A named struct/variant field, plus which `#[serde(...)]` marks it
+/// carries.
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 enum Fields {
@@ -131,17 +136,24 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
     }
 }
 
-/// Like [`skip_attrs_and_vis`], but reports whether one of the skipped
-/// attributes was `#[serde(skip)]`.
-fn skip_attrs_and_vis_detecting_skip(tokens: &[TokenTree], pos: &mut usize) -> bool {
-    let mut skip = false;
+/// The `#[serde(...)]` marks found on one field's attributes.
+#[derive(Default, Clone, Copy)]
+struct FieldMarks {
+    skip: bool,
+    default: bool,
+}
+
+/// Like [`skip_attrs_and_vis`], but reports which `#[serde(...)]` marks
+/// (`skip`, `default`) the skipped attributes carried.
+fn skip_attrs_and_vis_detecting_marks(tokens: &[TokenTree], pos: &mut usize) -> FieldMarks {
+    let mut marks = FieldMarks::default();
     loop {
         match tokens.get(*pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
-                    if attr_is_serde_skip(g.stream()) {
-                        skip = true;
-                    }
+                    let found = serde_attr_marks(g.stream());
+                    marks.skip |= found.skip;
+                    marks.default |= found.default;
                 }
                 *pos += 2; // `#` + bracket group
             }
@@ -153,25 +165,34 @@ fn skip_attrs_and_vis_detecting_skip(tokens: &[TokenTree], pos: &mut usize) -> b
                     }
                 }
             }
-            _ => return skip,
+            _ => return marks,
         }
     }
 }
 
-/// `true` for the token stream inside the brackets of `#[serde(skip)]`.
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+/// Marks carried by the token stream inside the brackets of a
+/// `#[serde(...)]` attribute; all-false for any other attribute.
+fn serde_attr_marks(stream: TokenStream) -> FieldMarks {
+    let mut marks = FieldMarks::default();
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     match tokens.first() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
-        _ => return false,
+        _ => return marks,
     }
-    match tokens.get(1) {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
-        _ => false,
+    if let Some(TokenTree::Group(g)) = tokens.get(1) {
+        if g.delimiter() == Delimiter::Parenthesis {
+            for t in g.stream() {
+                if let TokenTree::Ident(i) = &t {
+                    match i.to_string().as_str() {
+                        "skip" => marks.skip = true,
+                        "default" => marks.default = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
     }
+    marks
 }
 
 fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> String {
@@ -224,20 +245,22 @@ fn next_brace_group(tokens: &[TokenTree], pos: &mut usize) -> TokenStream {
 
 /// Field names of a `{ ... }` struct body, skipping attributes, visibility
 /// and types (commas inside `<...>` are not field separators).  A
-/// `#[serde(skip)]` attribute marks the following field as skipped.
+/// `#[serde(skip)]` / `#[serde(default)]` attribute marks the following
+/// field accordingly.
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        let skip = skip_attrs_and_vis_detecting_skip(&tokens, &mut pos);
+        let marks = skip_attrs_and_vis_detecting_marks(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
         match &tokens[pos] {
             TokenTree::Ident(i) => fields.push(Field {
                 name: i.to_string(),
-                skip,
+                skip: marks.skip,
+                default: marks.default,
             }),
             other => panic!("expected field name, found {other}"),
         }
@@ -420,10 +443,18 @@ fn de_named_fields(fields: &[Field], source: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            let skip = f.skip;
+            let (skip, default) = (f.skip, f.default);
             let f = &f.name;
             if skip {
                 format!("{f}: ::std::default::Default::default()")
+            } else if default {
+                format!(
+                    "{f}: match {source}.get(\"{f}\") {{\
+                     ::std::option::Option::Some(v) => \
+                     ::serde::Deserialize::deserialize_value(v)?,\
+                     ::std::option::Option::None => ::std::default::Default::default(),\
+                     }}"
+                )
             } else {
                 format!(
                     "{f}: ::serde::Deserialize::deserialize_value({source}.get(\"{f}\")\
