@@ -1,0 +1,245 @@
+//! The scenario-replay load generator (`admitd bench`).
+//!
+//! Replays a scenario's batch arrival stream (rebuilt bit-identically
+//! via [`crate::scenario::batch_frames`]) against a running server
+//! over N concurrent connections.  Frames are pipelined in fixed-size
+//! windows — one `write_all` per window, then one response read per
+//! outstanding frame — and per-frame latency is recorded into a
+//! [`telemetry`] log2 histogram, merged across connections for the
+//! final report.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use cellsim::SimConfig;
+use serde::Serialize;
+use telemetry::{Recorder, Registry, TelemetrySnapshot};
+
+use crate::metrics::{self, SCHEMA};
+use crate::scenario;
+use crate::wire::{self, Request, Status};
+
+/// Pipelined frames per write window.
+const WINDOW: usize = 64;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Server address, e.g. `127.0.0.1:4640`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Requests replayed per connection.
+    pub requests_per_connection: usize,
+    /// Scenario whose arrival stream is replayed.
+    pub sim: SimConfig,
+}
+
+/// Aggregated results of one bench run.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Connections that ran.
+    pub connections: usize,
+    /// Total requests sent (and responses received).
+    pub requests: u64,
+    /// Accept responses.
+    pub accepted: u64,
+    /// Reject responses.
+    pub rejected: u64,
+    /// Overload responses.
+    pub overloaded: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Wall-clock time of the slowest connection (seconds).
+    pub elapsed_s: f64,
+    /// Requests per second across all connections.
+    pub requests_per_sec: f64,
+    /// Median request→response latency (nanoseconds, log2-bucket
+    /// upper bound).
+    pub latency_p50_ns: u64,
+    /// 99th-percentile latency (nanoseconds, log2-bucket upper bound).
+    pub latency_p99_ns: u64,
+}
+
+struct ConnStats {
+    sent: u64,
+    accepted: u64,
+    rejected: u64,
+    overloaded: u64,
+    errors: u64,
+    elapsed_s: f64,
+    telemetry: TelemetrySnapshot,
+}
+
+/// Run the load generator against a live server.
+pub fn run(config: &BenchConfig) -> io::Result<BenchReport> {
+    let connections = config.connections.max(1);
+    let per_conn = config.requests_per_connection.max(1);
+    let mut handles = Vec::with_capacity(connections);
+    for conn_index in 0..connections {
+        let addr = config.addr.clone();
+        let sim = config.sim.clone();
+        handles.push(std::thread::spawn(move || -> io::Result<ConnStats> {
+            // Distinct id ranges so concurrent replays never collide on
+            // live connection ids.
+            let offset = conn_index as u64 * 1_000_000_000;
+            let frames = scenario::batch_frames(&sim, per_conn, offset);
+            run_connection(&addr, &frames)
+        }));
+    }
+    let mut merged = TelemetrySnapshot::default();
+    let mut report = BenchReport {
+        connections,
+        requests: 0,
+        accepted: 0,
+        rejected: 0,
+        overloaded: 0,
+        errors: 0,
+        elapsed_s: 0.0,
+        requests_per_sec: 0.0,
+        latency_p50_ns: 0,
+        latency_p99_ns: 0,
+    };
+    for handle in handles {
+        let stats = handle
+            .join()
+            .map_err(|_| io::Error::other("bench connection thread panicked"))??;
+        report.requests += stats.sent;
+        report.accepted += stats.accepted;
+        report.rejected += stats.rejected;
+        report.overloaded += stats.overloaded;
+        report.errors += stats.errors;
+        report.elapsed_s = report.elapsed_s.max(stats.elapsed_s);
+        merged.merge(&stats.telemetry);
+    }
+    if report.elapsed_s > 0.0 {
+        report.requests_per_sec = report.requests as f64 / report.elapsed_s;
+    }
+    (report.latency_p50_ns, report.latency_p99_ns) = latency_percentiles(&merged);
+    Ok(report)
+}
+
+/// Replay one frame stream over one connection, returning its stats.
+fn run_connection(addr: &str, frames: &[Request]) -> io::Result<ConnStats> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut registry = Registry::for_schema(&SCHEMA);
+    let mut stats = ConnStats {
+        sent: 0,
+        accepted: 0,
+        rejected: 0,
+        overloaded: 0,
+        errors: 0,
+        elapsed_s: 0.0,
+        telemetry: TelemetrySnapshot::default(),
+    };
+    let mut outbuf = Vec::with_capacity(WINDOW * 72);
+    let mut inbuf: Vec<u8> = Vec::with_capacity(WINDOW * 32);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut sent_at: VecDeque<Instant> = VecDeque::with_capacity(WINDOW);
+    let started = Instant::now();
+    stream.write_all(&wire::MAGIC)?;
+    for window in frames.chunks(WINDOW) {
+        outbuf.clear();
+        for frame in window {
+            wire::encode_request(frame, &mut outbuf);
+        }
+        stream.write_all(&outbuf)?;
+        let now = Instant::now();
+        sent_at.extend(std::iter::repeat_n(now, window.len()));
+        stats.sent += window.len() as u64;
+
+        let mut pending = window.len();
+        while pending > 0 {
+            if let Some((start, end)) = wire::next_frame(&inbuf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                let response = wire::decode_response(&inbuf[start..end])
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                inbuf.drain(..end);
+                pending -= 1;
+                if let Some(at) = sent_at.pop_front() {
+                    let ns = at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    registry.observe(metrics::histogram::CLIENT_LATENCY_NS, ns);
+                }
+                match response.status {
+                    Status::Accept => stats.accepted += 1,
+                    Status::Reject => stats.rejected += 1,
+                    Status::Overload => stats.overloaded += 1,
+                    Status::Error => stats.errors += 1,
+                }
+                continue;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed with responses outstanding",
+                ));
+            }
+            inbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+    stats.elapsed_s = started.elapsed().as_secs_f64();
+    stats.telemetry = registry.snapshot();
+    Ok(stats)
+}
+
+/// `(p50, p99)` upper bounds from the merged client latency histogram.
+fn latency_percentiles(snapshot: &TelemetrySnapshot) -> (u64, u64) {
+    let Some(hist) = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "admitd_client_latency_ns")
+    else {
+        return (0, 0);
+    };
+    (percentile(hist, 0.50), percentile(hist, 0.99))
+}
+
+fn percentile(hist: &telemetry::HistogramSnapshot, q: f64) -> u64 {
+    if hist.count == 0 {
+        return 0;
+    }
+    let target = (hist.count as f64 * q).ceil() as u64;
+    let mut cumulative = 0;
+    for bucket in &hist.buckets {
+        cumulative += bucket.count;
+        if cumulative >= target {
+            return bucket.le;
+        }
+    }
+    hist.buckets.last().map_or(0, |b| b.le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::{BucketCount, HistogramSnapshot};
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let hist = HistogramSnapshot {
+            name: "admitd_client_latency_ns".into(),
+            count: 100,
+            sum: 0,
+            buckets: vec![
+                BucketCount {
+                    le: 1024,
+                    count: 60,
+                },
+                BucketCount {
+                    le: 2048,
+                    count: 39,
+                },
+                BucketCount { le: 4096, count: 1 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(percentile(&hist, 0.50), 1024);
+        assert_eq!(percentile(&hist, 0.99), 2048);
+        assert_eq!(percentile(&hist, 1.0), 4096);
+    }
+}

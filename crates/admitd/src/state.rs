@@ -1,0 +1,609 @@
+//! Authoritative per-cell counter state behind sharded locks, and the
+//! micro-batching decision engine.
+//!
+//! The server owns one [`BaseStation`] per cell in the dense
+//! [`CellIdx`](cellsim::geometry::CellIdx) layout `cellsim` uses,
+//! partitioned into contiguous
+//! shards each guarded by its own mutex.  Every shard also owns its
+//! own controller instance (the same per-shard controller-bank
+//! semantics as `cellsim::shard::ShardedSimulator`) plus a telemetry
+//! registry, so concurrent connections touching different shards never
+//! contend.
+//!
+//! # Micro-batching and the one-snapshot contract
+//!
+//! [`World::process`] groups consecutive same-cell admit frames and
+//! drives them through one
+//! [`AdmissionController::decide_batch`](cellsim::AdmissionController::decide_batch)
+//! call where it can.  `decide_batch` answers against a *single* station
+//! snapshot, so a cached batch decision is only reusable while the
+//! station state is exactly the snapshot it was decided against.  The
+//! engine therefore re-batches from the current request onward whenever
+//! state changed — an admission or an expiry — and reuses the cached
+//! tail across the two state-preserving outcomes (policy rejections and
+//! capacity rejections).  Because `decide` never mutates (controllers
+//! learn only via `on_admitted`/`on_released`), the produced sequence
+//! is bit-identical to offering every request sequentially, which is
+//! exactly what `tests/determinism.rs` proves against the in-process
+//! engine.
+
+use std::sync::Mutex;
+
+use cellsim::{
+    AdmissionDecision, AdmissionRequest, Bandwidth, BaseStation, BoxedController, CellGrid,
+    SimConfig,
+};
+use serde::Serialize;
+use telemetry::{Recorder, Registry, Stopwatch, TelemetrySnapshot};
+
+use crate::metrics::{self, SCHEMA};
+use crate::wire::{AdmitFrame, Request, Response, Status};
+
+/// Everything needed to build a [`World`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Hex-grid radius in cells (0 = single cell).
+    pub grid_radius_cells: u32,
+    /// Cell radius in metres.
+    pub cell_radius_m: f64,
+    /// Station capacity (BU).
+    pub station_capacity: Bandwidth,
+    /// Number of lock shards (clamped to `[1, cells]`).
+    pub shards: usize,
+}
+
+impl WorldConfig {
+    /// The paper's single 40-BU cell behind one lock.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            grid_radius_cells: 0,
+            cell_radius_m: 1000.0,
+            station_capacity: 40,
+            shards: 1,
+        }
+    }
+
+    /// Adopt the world-shaping fields of a simulator config (grid,
+    /// cell radius, capacity).
+    #[must_use]
+    pub fn from_sim_config(config: &SimConfig, shards: usize) -> Self {
+        Self {
+            grid_radius_cells: config.grid_radius_cells,
+            cell_radius_m: config.cell_radius_m,
+            station_capacity: config.station_capacity,
+            shards,
+        }
+    }
+}
+
+/// One lock shard: a contiguous run of stations plus its controller.
+struct Shard {
+    /// Dense index of the first cell in this shard.
+    base: usize,
+    stations: Vec<BaseStation>,
+    /// Per-cell logical clocks (seconds); only move forward.
+    clocks: Vec<f64>,
+    controller: BoxedController,
+    registry: Registry,
+    /// Scratch for `decide_batch` output.
+    decisions: Vec<AdmissionDecision>,
+    /// Scratch for expired connections.
+    expired: Vec<cellsim::station::ActiveConnection>,
+    /// Scratch for the admission requests of one group.
+    requests: Vec<AdmissionRequest>,
+}
+
+/// Occupancy snapshot of one cell, as served by `/state`.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellState {
+    /// Axial `q` coordinate of the cell.
+    pub q: i32,
+    /// Axial `r` coordinate of the cell.
+    pub r: i32,
+    /// Occupied bandwidth (BU).
+    pub occupied: Bandwidth,
+    /// Station capacity (BU).
+    pub capacity: Bandwidth,
+    /// Live connection count.
+    pub active: usize,
+    /// Real-time counter (RTC) bandwidth.
+    pub rtc: Bandwidth,
+    /// Non-real-time counter (NRTC) bandwidth.
+    pub nrtc: Bandwidth,
+    /// Connections admitted over the cell's lifetime.
+    pub total_admitted: u64,
+    /// Connections released over the cell's lifetime.
+    pub total_released: u64,
+}
+
+/// Whole-world snapshot of `/state`.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorldState {
+    /// Controller driving admissions.
+    pub controller: String,
+    /// Number of cells in the grid.
+    pub cells: usize,
+    /// Number of lock shards.
+    pub shards: usize,
+    /// Sum of `occupied` across cells (BU).
+    pub occupied_total: u64,
+    /// Sum of live connections across cells.
+    pub active_total: u64,
+    /// Per-cell occupancy in dense [`CellIdx`](cellsim::geometry::CellIdx)
+    /// order.
+    pub per_cell: Vec<CellState>,
+}
+
+/// The server's authoritative admission state.
+pub struct World {
+    grid: CellGrid,
+    shards: Vec<Mutex<Shard>>,
+    cells_per_shard: usize,
+    controller_label: String,
+}
+
+impl World {
+    /// Build a world whose shards each own a fresh controller from
+    /// `build_controller`.
+    pub fn new(
+        config: &WorldConfig,
+        controller_label: &str,
+        mut build_controller: impl FnMut() -> BoxedController,
+    ) -> Self {
+        let grid = CellGrid::new(config.grid_radius_cells, config.cell_radius_m);
+        let cells = grid.len();
+        let shard_count = config.shards.clamp(1, cells);
+        let cells_per_shard = cells.div_ceil(shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut base = 0usize;
+        while base < cells {
+            let end = (base + cells_per_shard).min(cells);
+            let stations: Vec<BaseStation> = grid.cells()[base..end]
+                .iter()
+                .map(|&c| BaseStation::new(c, grid.center_of(&c), config.station_capacity))
+                .collect();
+            shards.push(Mutex::new(Shard {
+                base,
+                clocks: vec![0.0; stations.len()],
+                stations,
+                controller: build_controller(),
+                registry: Registry::for_schema(&SCHEMA),
+                decisions: Vec::new(),
+                expired: Vec::new(),
+                requests: Vec::new(),
+            }));
+            base = end;
+        }
+        Self {
+            grid,
+            shards,
+            cells_per_shard,
+            controller_label: controller_label.to_string(),
+        }
+    }
+
+    /// The world's cell grid.
+    #[must_use]
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// Label of the controller driving admissions.
+    #[must_use]
+    pub fn controller_label(&self) -> &str {
+        &self.controller_label
+    }
+
+    fn shard_of(&self, cell: usize) -> usize {
+        cell / self.cells_per_shard
+    }
+
+    /// Apply a run of request frames, appending exactly one response
+    /// per frame to `out`, in order.
+    ///
+    /// Consecutive admit frames for the same cell are decided through
+    /// the micro-batching engine under one shard lock; everything else
+    /// is applied frame by frame.  Frames naming a cell outside the
+    /// grid get [`Status::Error`] responses.
+    pub fn process(&self, requests: &[Request], out: &mut Vec<Response>) {
+        let mut i = 0;
+        while i < requests.len() {
+            match requests[i] {
+                Request::Admit(first) => {
+                    // Extend the group over consecutive same-cell admits.
+                    let mut j = i + 1;
+                    while j < requests.len() {
+                        match requests[j] {
+                            Request::Admit(f) if f.cell == first.cell => j += 1,
+                            _ => break,
+                        }
+                    }
+                    self.admit_group(&requests[i..j], out);
+                    i = j;
+                }
+                Request::Release(frame) => {
+                    out.push(self.release_one(frame.cell, frame.id, frame.time));
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Decide and apply one group of same-cell admit frames.
+    fn admit_group(&self, group: &[Request], out: &mut Vec<Response>) {
+        let cell = match group[0] {
+            Request::Admit(f) => f.cell as usize,
+            Request::Release(_) => unreachable!("admit_group only sees admit runs"),
+        };
+        if cell >= self.grid.len() {
+            out.extend(group.iter().map(|r| Response::error(r.id())));
+            return;
+        }
+        let shard = &mut *self.shards[self.shard_of(cell)].lock().expect("shard lock");
+        let local = cell - shard.base;
+        let watch = Stopwatch::started(true);
+        let cell_id = shard.stations[local].cell();
+
+        shard.requests.clear();
+        for request in group {
+            let Request::Admit(frame) = request else {
+                unreachable!("admit_group only sees admit runs");
+            };
+            shard.registry.add(metrics::counter::FRAMES_ADMIT, 1);
+            shard.requests.push(admission_request(frame, cell_id));
+        }
+
+        // Index into `decisions` of the request the cached batch starts
+        // at; `None` = no valid cache (state changed since it was cut).
+        let mut cache_start: Option<usize> = None;
+        let requests = std::mem::take(&mut shard.requests);
+        for (k, request) in requests.iter().enumerate() {
+            // Advance the cell clock and complete expired calls, exactly
+            // as the sequential engine does before every offer.
+            let now = shard.clocks[local].max(request.time);
+            shard.clocks[local] = now;
+            let mut expired = std::mem::take(&mut shard.expired);
+            expired.clear();
+            shard.stations[local].release_expired_into(now, &mut expired);
+            if !expired.is_empty() {
+                cache_start = None;
+                shard
+                    .registry
+                    .add(metrics::counter::EXPIRED, expired.len() as u64);
+                for conn in &expired {
+                    shard
+                        .controller
+                        .on_released(conn.id, &shard.stations[local]);
+                }
+            }
+            shard.expired = expired;
+
+            let station = &shard.stations[local];
+            // Capacity screen first — the sequential engine never
+            // consults the controller for a request that cannot fit,
+            // and the rejection leaves state (and the cache) intact.
+            if !station.can_fit(request.bandwidth) {
+                out.push(Response {
+                    status: Status::Reject,
+                    id: request.id,
+                    score: -1.0,
+                });
+                shard
+                    .registry
+                    .add(metrics::response_counter(Status::Reject), 1);
+                continue;
+            }
+            let start = match cache_start {
+                Some(start) => start,
+                None => {
+                    // (Re-)decide the remaining tail against the current
+                    // snapshot in one batch.
+                    let Shard {
+                        controller,
+                        stations,
+                        decisions,
+                        registry,
+                        ..
+                    } = shard;
+                    controller.decide_batch(&requests[k..], &stations[local], decisions);
+                    registry.add(metrics::counter::BATCHES, 1);
+                    registry.observe(metrics::histogram::BATCH_SIZE, (requests.len() - k) as u64);
+                    cache_start = Some(k);
+                    k
+                }
+            };
+            let decision = shard.decisions[k - start];
+            if decision.accept {
+                shard.stations[local]
+                    .admit(
+                        request.id,
+                        request.class,
+                        request.bandwidth,
+                        request.time,
+                        request.holding_time,
+                        request.is_handoff,
+                    )
+                    .expect("admission checked via can_fit");
+                let Shard {
+                    controller,
+                    stations,
+                    ..
+                } = shard;
+                controller.on_admitted(request, &stations[local]);
+                // The admission changed both occupancy and controller
+                // state: the cached tail no longer matches a snapshot.
+                cache_start = None;
+                out.push(Response {
+                    status: Status::Accept,
+                    id: request.id,
+                    score: decision.score,
+                });
+                shard
+                    .registry
+                    .add(metrics::response_counter(Status::Accept), 1);
+            } else {
+                out.push(Response {
+                    status: Status::Reject,
+                    id: request.id,
+                    score: decision.score,
+                });
+                shard
+                    .registry
+                    .add(metrics::response_counter(Status::Reject), 1);
+            }
+        }
+        shard.requests = requests;
+        shard.requests.clear();
+        if let Some(ns) = watch.elapsed_ns() {
+            shard.registry.span_ns(metrics::span::PROCESS, ns);
+        }
+    }
+
+    /// Apply one release frame.
+    fn release_one(&self, cell: u32, id: u64, time: f64) -> Response {
+        let cell = cell as usize;
+        if cell >= self.grid.len() {
+            return Response::error(id);
+        }
+        let shard = &mut *self.shards[self.shard_of(cell)].lock().expect("shard lock");
+        let local = cell - shard.base;
+        shard.registry.add(metrics::counter::FRAMES_RELEASE, 1);
+        let now = shard.clocks[local].max(time);
+        shard.clocks[local] = now;
+        let mut expired = std::mem::take(&mut shard.expired);
+        expired.clear();
+        shard.stations[local].release_expired_into(now, &mut expired);
+        if !expired.is_empty() {
+            shard
+                .registry
+                .add(metrics::counter::EXPIRED, expired.len() as u64);
+            for conn in &expired {
+                shard
+                    .controller
+                    .on_released(conn.id, &shard.stations[local]);
+            }
+        }
+        shard.expired = expired;
+        let response = match shard.stations[local].release(id) {
+            Ok(_) => {
+                let Shard {
+                    controller,
+                    stations,
+                    ..
+                } = shard;
+                controller.on_released(id, &stations[local]);
+                Response {
+                    status: Status::Accept,
+                    id,
+                    score: 0.0,
+                }
+            }
+            Err(_) => Response::error(id),
+        };
+        let counted = if response.status == Status::Accept {
+            Status::Accept
+        } else {
+            Status::Error
+        };
+        shard.registry.add(metrics::response_counter(counted), 1);
+        response
+    }
+
+    /// Merge every shard's telemetry into one snapshot.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut merged = TelemetrySnapshot::default();
+        for shard in &self.shards {
+            let snap = shard.lock().expect("shard lock").registry.snapshot();
+            merged.merge(&snap);
+        }
+        merged
+    }
+
+    /// Per-cell occupancy snapshot (the `/state` payload).
+    #[must_use]
+    pub fn state(&self) -> WorldState {
+        let mut per_cell = Vec::with_capacity(self.grid.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            for station in &shard.stations {
+                per_cell.push(CellState {
+                    q: station.cell().q,
+                    r: station.cell().r,
+                    occupied: station.occupied(),
+                    capacity: station.capacity(),
+                    active: station.active_connections(),
+                    rtc: station.rtc(),
+                    nrtc: station.nrtc(),
+                    total_admitted: station.total_admitted(),
+                    total_released: station.total_released(),
+                });
+            }
+        }
+        WorldState {
+            controller: self.controller_label.clone(),
+            cells: per_cell.len(),
+            shards: self.shards.len(),
+            occupied_total: per_cell.iter().map(|c| u64::from(c.occupied)).sum(),
+            active_total: per_cell.iter().map(|c| c.active as u64).sum(),
+            per_cell,
+        }
+    }
+
+    /// Occupied bandwidth of one cell by dense index, if it exists.
+    #[must_use]
+    pub fn occupied(&self, cell: usize) -> Option<Bandwidth> {
+        if cell >= self.grid.len() {
+            return None;
+        }
+        let shard = self.shards[self.shard_of(cell)].lock().expect("shard lock");
+        Some(shard.stations[cell - shard.base].occupied())
+    }
+}
+
+/// Translate a wire frame into the engine's request type.
+fn admission_request(frame: &AdmitFrame, cell: cellsim::CellId) -> AdmissionRequest {
+    let mut request = AdmissionRequest {
+        id: frame.id,
+        cell,
+        time: frame.time,
+        class: frame.class,
+        bandwidth: frame.bandwidth,
+        holding_time: frame.holding_time,
+        speed_kmh: frame.speed_kmh,
+        angle_deg: frame.angle_deg,
+        distance_m: None,
+        is_handoff: frame.is_handoff,
+    };
+    if let Some(distance) = frame.distance_m {
+        request = request.with_distance(distance);
+    }
+    request
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellsim::ServiceClass;
+    use sweep::ControllerSpec;
+
+    fn frame(id: u64, class: ServiceClass, time: f64, holding: f64) -> Request {
+        Request::Admit(AdmitFrame {
+            cell: 0,
+            id,
+            class,
+            is_handoff: id % 3 == 0,
+            bandwidth: class.paper_bandwidth(),
+            time,
+            holding_time: holding,
+            speed_kmh: 40.0 + id as f64,
+            angle_deg: (id as f64 * 37.0) % 180.0 - 90.0,
+            distance_m: Some(200.0 + id as f64),
+        })
+    }
+
+    fn workload(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                let class = ServiceClass::ALL[(i % 3) as usize];
+                frame(i, class, i as f64 * 0.25, 8.0 + (i % 5) as f64)
+            })
+            .collect()
+    }
+
+    /// Submitting a whole group at once (micro-batched) must answer
+    /// exactly like submitting the same frames one by one (pure
+    /// sequential path), for every shipped controller.
+    #[test]
+    fn batched_processing_matches_frame_at_a_time() {
+        let specs = [
+            ControllerSpec::FacsP,
+            ControllerSpec::FacsPLut,
+            ControllerSpec::Facs,
+            ControllerSpec::Scc,
+            ControllerSpec::AlwaysAccept,
+            ControllerSpec::Threshold {
+                new_call: 0.85,
+                handoff: 0.95,
+            },
+        ];
+        let requests = workload(160);
+        for spec in specs {
+            let config = WorldConfig::paper_default();
+            let batched = World::new(&config, &spec.label(), || spec.build());
+            let sequential = World::new(&config, &spec.label(), || spec.build());
+            let mut batched_out = Vec::new();
+            batched.process(&requests, &mut batched_out);
+            let mut sequential_out = Vec::new();
+            for request in &requests {
+                sequential.process(std::slice::from_ref(request), &mut sequential_out);
+            }
+            assert_eq!(batched_out, sequential_out, "controller {}", spec.label());
+            assert_eq!(batched.occupied(0), sequential.occupied(0));
+        }
+    }
+
+    #[test]
+    fn releases_free_capacity_and_unknown_ids_error() {
+        let world = World::new(&WorldConfig::paper_default(), "always-accept", || {
+            ControllerSpec::AlwaysAccept.build()
+        });
+        let mut out = Vec::new();
+        world.process(&workload(4), &mut out);
+        assert!(out.iter().all(|r| r.status == Status::Accept));
+        let occupied = world.occupied(0).unwrap();
+        assert!(occupied > 0);
+
+        out.clear();
+        world.process(
+            &[Request::Release(crate::wire::ReleaseFrame {
+                cell: 0,
+                id: 1,
+                time: 2.0,
+            })],
+            &mut out,
+        );
+        assert_eq!(out[0].status, Status::Accept);
+        assert!(world.occupied(0).unwrap() < occupied);
+
+        out.clear();
+        world.process(
+            &[Request::Release(crate::wire::ReleaseFrame {
+                cell: 0,
+                id: 999,
+                time: 2.0,
+            })],
+            &mut out,
+        );
+        assert_eq!(out[0].status, Status::Error);
+    }
+
+    #[test]
+    fn out_of_grid_cells_get_error_responses() {
+        let world = World::new(&WorldConfig::paper_default(), "always-accept", || {
+            ControllerSpec::AlwaysAccept.build()
+        });
+        let mut out = Vec::new();
+        let mut bad = workload(1);
+        if let Request::Admit(f) = &mut bad[0] {
+            f.cell = 77;
+        }
+        world.process(&bad, &mut out);
+        assert_eq!(out[0].status, Status::Error);
+    }
+
+    #[test]
+    fn telemetry_snapshot_lints_clean() {
+        let world = World::new(&WorldConfig::paper_default(), "FACS-P", || {
+            ControllerSpec::FacsP.build()
+        });
+        let mut out = Vec::new();
+        world.process(&workload(64), &mut out);
+        telemetry::lint_prometheus(&world.telemetry().to_prometheus()).expect("clean exposition");
+        let state = world.state();
+        assert_eq!(state.cells, 1);
+        assert_eq!(state.per_cell.len(), 1);
+        assert_eq!(u64::from(state.per_cell[0].occupied), state.occupied_total);
+    }
+}

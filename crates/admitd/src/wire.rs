@@ -1,0 +1,446 @@
+//! The length-prefixed binary wire protocol of `admitd`.
+//!
+//! A client opens a TCP connection and sends the 4-byte magic
+//! [`MAGIC`] (`b"FAC1"`); everything after the magic is a stream of
+//! frames, each a little-endian `u32` payload length followed by the
+//! payload.  Connections that do *not* start with the magic are served
+//! as HTTP/1.1 (`/metrics`, `/state`, `/healthz`) instead.
+//!
+//! Two request payloads exist — [`AdmitFrame`] (offer one call /
+//! handoff to a cell) and [`ReleaseFrame`] (end an admitted
+//! connection) — and one [`Response`] payload.  The server answers
+//! every request frame with exactly one response frame, in request
+//! order.  All multi-byte fields are little-endian; see
+//! `docs/SERVER.md` for the normative byte layout.
+
+use cellsim::ServiceClass;
+
+/// Connection-opening magic selecting the binary protocol.
+pub const MAGIC: [u8; 4] = *b"FAC1";
+
+/// Upper bound on a frame payload, bytes.  Both sides reject frames
+/// whose length prefix exceeds this — a corrupt or hostile length can
+/// never make the peer buffer unboundedly.
+pub const MAX_PAYLOAD: usize = 256;
+
+/// Payload length of an encoded [`AdmitFrame`].
+pub const ADMIT_PAYLOAD_LEN: usize = 60;
+/// Payload length of an encoded [`ReleaseFrame`].
+pub const RELEASE_PAYLOAD_LEN: usize = 24;
+/// Payload length of an encoded [`Response`].
+pub const RESPONSE_PAYLOAD_LEN: usize = 20;
+
+const OP_ADMIT: u8 = 1;
+const OP_RELEASE: u8 = 2;
+
+/// Offer one new call or handoff to a cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmitFrame {
+    /// Dense cell index ([`cellsim::CellIdx`]) of the serving cell.
+    pub cell: u32,
+    /// Connection id; must be unique among the cell's live connections.
+    pub id: u64,
+    /// Service class of the request.
+    pub class: ServiceClass,
+    /// `true` for a handoff of an on-going connection, `false` for a
+    /// new call.
+    pub is_handoff: bool,
+    /// Requested bandwidth (BU).
+    pub bandwidth: u32,
+    /// Arrival time on the caller's clock (seconds).  The server's
+    /// per-cell clock only moves forward, so out-of-order timestamps
+    /// are clamped, never rewound.
+    pub time: f64,
+    /// Expected holding time (seconds).
+    pub holding_time: f64,
+    /// User speed (km/h) — the `Sp` input of FLC1.
+    pub speed_kmh: f64,
+    /// Heading relative to the serving base station (degrees) — the
+    /// `An` input of FLC1.
+    pub angle_deg: f64,
+    /// Distance to the base station (metres); `None` when unknown
+    /// (encoded as NaN on the wire).
+    pub distance_m: Option<f64>,
+}
+
+/// Release an admitted connection (normal completion or handoff-out).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleaseFrame {
+    /// Dense cell index of the serving cell.
+    pub cell: u32,
+    /// Connection id to release.
+    pub id: u64,
+    /// Release time on the caller's clock (seconds).
+    pub time: f64,
+}
+
+/// One request frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Offer a call ([`AdmitFrame`]).
+    Admit(AdmitFrame),
+    /// Release a connection ([`ReleaseFrame`]).
+    Release(ReleaseFrame),
+}
+
+impl Request {
+    /// The connection id the frame refers to.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Admit(f) => f.id,
+            Request::Release(f) => f.id,
+        }
+    }
+}
+
+/// Outcome carried by a [`Response`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request was rejected by policy or capacity.
+    Reject,
+    /// The request was admitted (or the release succeeded).
+    Accept,
+    /// The request was shed by backpressure before any decision was
+    /// made; the caller may retry.
+    Overload,
+    /// The request was malformed or referred to unknown state (bad
+    /// cell index, duplicate or unknown connection id).
+    Error,
+}
+
+impl Status {
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(Status::Reject),
+            1 => Ok(Status::Accept),
+            2 => Ok(Status::Overload),
+            3 => Ok(Status::Error),
+            other => Err(WireError::BadStatus(other)),
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            Status::Reject => 0,
+            Status::Accept => 1,
+            Status::Overload => 2,
+            Status::Error => 3,
+        }
+    }
+}
+
+/// The server's answer to one request frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Response {
+    /// Outcome.
+    pub status: Status,
+    /// Echo of the request's connection id.
+    pub id: u64,
+    /// The controller's decision score (`-1` for capacity rejections,
+    /// `0` for releases/overload/errors).
+    pub score: f64,
+}
+
+impl Response {
+    /// An overload response for a shed request.
+    #[must_use]
+    pub fn overload(id: u64) -> Self {
+        Self {
+            status: Status::Overload,
+            id,
+            score: 0.0,
+        }
+    }
+
+    /// An error response for a malformed or unknown-state request.
+    #[must_use]
+    pub fn error(id: u64) -> Self {
+        Self {
+            status: Status::Error,
+            id,
+            score: 0.0,
+        }
+    }
+}
+
+/// Decode errors for either direction of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeded [`MAX_PAYLOAD`].
+    Oversized(usize),
+    /// The payload length did not match the opcode's fixed layout.
+    BadLength {
+        /// Opcode (or 0 for a response frame).
+        op: u8,
+        /// Actual payload length.
+        len: usize,
+    },
+    /// Unknown opcode byte.
+    BadOp(u8),
+    /// Unknown status byte in a response.
+    BadStatus(u8),
+    /// Unknown service-class byte.
+    BadClass(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized(len) => {
+                write!(f, "frame payload of {len} bytes exceeds {MAX_PAYLOAD}")
+            }
+            WireError::BadLength { op, len } => {
+                write!(f, "payload length {len} is wrong for opcode {op}")
+            }
+            WireError::BadOp(op) => write!(f, "unknown opcode {op}"),
+            WireError::BadStatus(s) => write!(f, "unknown response status {s}"),
+            WireError::BadClass(c) => write!(f, "unknown service class {c}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn class_to_byte(class: ServiceClass) -> u8 {
+    class.index() as u8
+}
+
+fn class_from_byte(b: u8) -> Result<ServiceClass, WireError> {
+    ServiceClass::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or(WireError::BadClass(b))
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(p: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(p[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(p: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(p[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn read_f64(p: &[u8], at: usize) -> f64 {
+    f64::from_le_bytes(p[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Append one length-prefixed request frame to `buf`.
+pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
+    match request {
+        Request::Admit(fr) => {
+            buf.extend_from_slice(&(ADMIT_PAYLOAD_LEN as u32).to_le_bytes());
+            buf.push(OP_ADMIT);
+            buf.push(u8::from(fr.is_handoff));
+            buf.push(class_to_byte(fr.class));
+            buf.push(0);
+            buf.extend_from_slice(&fr.cell.to_le_bytes());
+            buf.extend_from_slice(&fr.id.to_le_bytes());
+            buf.extend_from_slice(&fr.bandwidth.to_le_bytes());
+            push_f64(buf, fr.time);
+            push_f64(buf, fr.holding_time);
+            push_f64(buf, fr.speed_kmh);
+            push_f64(buf, fr.angle_deg);
+            push_f64(buf, fr.distance_m.unwrap_or(f64::NAN));
+        }
+        Request::Release(fr) => {
+            buf.extend_from_slice(&(RELEASE_PAYLOAD_LEN as u32).to_le_bytes());
+            buf.push(OP_RELEASE);
+            buf.extend_from_slice(&[0, 0, 0]);
+            buf.extend_from_slice(&fr.cell.to_le_bytes());
+            buf.extend_from_slice(&fr.id.to_le_bytes());
+            push_f64(buf, fr.time);
+        }
+    }
+}
+
+/// Decode one request payload (the bytes *after* the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let op = *payload
+        .first()
+        .ok_or(WireError::BadLength { op: 0, len: 0 })?;
+    match op {
+        OP_ADMIT => {
+            if payload.len() != ADMIT_PAYLOAD_LEN {
+                return Err(WireError::BadLength {
+                    op,
+                    len: payload.len(),
+                });
+            }
+            let distance = read_f64(payload, 52);
+            Ok(Request::Admit(AdmitFrame {
+                is_handoff: payload[1] != 0,
+                class: class_from_byte(payload[2])?,
+                cell: read_u32(payload, 4),
+                id: read_u64(payload, 8),
+                bandwidth: read_u32(payload, 16),
+                time: read_f64(payload, 20),
+                holding_time: read_f64(payload, 28),
+                speed_kmh: read_f64(payload, 36),
+                angle_deg: read_f64(payload, 44),
+                distance_m: if distance.is_nan() {
+                    None
+                } else {
+                    Some(distance)
+                },
+            }))
+        }
+        OP_RELEASE => {
+            if payload.len() != RELEASE_PAYLOAD_LEN {
+                return Err(WireError::BadLength {
+                    op,
+                    len: payload.len(),
+                });
+            }
+            Ok(Request::Release(ReleaseFrame {
+                cell: read_u32(payload, 4),
+                id: read_u64(payload, 8),
+                time: read_f64(payload, 16),
+            }))
+        }
+        other => Err(WireError::BadOp(other)),
+    }
+}
+
+/// Append one length-prefixed response frame to `buf`.
+pub fn encode_response(response: &Response, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(RESPONSE_PAYLOAD_LEN as u32).to_le_bytes());
+    buf.push(response.status.to_byte());
+    buf.extend_from_slice(&[0, 0, 0]);
+    buf.extend_from_slice(&response.id.to_le_bytes());
+    push_f64(buf, response.score);
+}
+
+/// Decode one response payload (the bytes *after* the length prefix).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    if payload.len() != RESPONSE_PAYLOAD_LEN {
+        return Err(WireError::BadLength {
+            op: 0,
+            len: payload.len(),
+        });
+    }
+    Ok(Response {
+        status: Status::from_byte(payload[0])?,
+        id: read_u64(payload, 4),
+        score: read_f64(payload, 12),
+    })
+}
+
+/// Split the next complete frame off `buf`, returning its payload
+/// range, or `None` when `buf` holds only a partial frame.
+///
+/// On `Some((start, end))` the frame occupies `buf[..end]` with the
+/// payload at `buf[start..end]`; the caller consumes by draining
+/// `..end`.  Oversized length prefixes are a protocol error.
+pub fn next_frame(buf: &[u8]) -> Result<Option<(usize, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = read_u32(buf, 0) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((4, 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_admit() -> AdmitFrame {
+        AdmitFrame {
+            cell: 7,
+            id: 0xDEAD_BEEF,
+            class: ServiceClass::Voice,
+            is_handoff: true,
+            bandwidth: 5,
+            time: 12.5,
+            holding_time: 180.0,
+            speed_kmh: 61.0,
+            angle_deg: -45.0,
+            distance_m: Some(412.0),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Admit(sample_admit()),
+            Request::Admit(AdmitFrame {
+                distance_m: None,
+                is_handoff: false,
+                class: ServiceClass::Text,
+                ..sample_admit()
+            }),
+            Request::Release(ReleaseFrame {
+                cell: 3,
+                id: 99,
+                time: 1.0,
+            }),
+        ];
+        for case in cases {
+            let mut buf = Vec::new();
+            encode_request(&case, &mut buf);
+            let (start, end) = next_frame(&buf).unwrap().expect("complete frame");
+            assert_eq!(end, buf.len());
+            assert_eq!(decode_request(&buf[start..end]).unwrap(), case);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for status in [
+            Status::Reject,
+            Status::Accept,
+            Status::Overload,
+            Status::Error,
+        ] {
+            let resp = Response {
+                status,
+                id: 42,
+                score: -0.25,
+            };
+            let mut buf = Vec::new();
+            encode_response(&resp, &mut buf);
+            let (start, end) = next_frame(&buf).unwrap().expect("complete frame");
+            assert_eq!(decode_response(&buf[start..end]).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Admit(sample_admit()), &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(next_frame(&buf[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(matches!(
+            next_frame(&u32::MAX.to_le_bytes()),
+            Err(WireError::Oversized(_))
+        ));
+        assert_eq!(decode_request(&[9, 0, 0, 0]), Err(WireError::BadOp(9)));
+        assert!(matches!(
+            decode_request(&[OP_ADMIT, 0, 0]),
+            Err(WireError::BadLength { .. })
+        ));
+        let mut buf = Vec::new();
+        encode_request(&Request::Admit(sample_admit()), &mut buf);
+        buf[4 + 2] = 77; // class byte
+        assert_eq!(decode_request(&buf[4..]), Err(WireError::BadClass(77)));
+        assert!(matches!(
+            decode_response(&[8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(WireError::BadStatus(8))
+        ));
+    }
+}

@@ -1,0 +1,139 @@
+//! The server's determinism contract: replaying a scenario's arrival
+//! stream through `admitd` over one connection must produce the
+//! bit-identical accept/reject sequence the in-process engine
+//! produces.
+//!
+//! The reference sequence comes from offering the engine's own batch
+//! workload one request at a time through
+//! `Simulator::offer_requests` (whose loop body is exactly the
+//! sequential per-request path), reading the accept count delta after
+//! each offer.  The server side replays the same stream — rebuilt
+//! bit-identically by `admitd::scenario::batch_frames`, distances
+//! included — over one TCP connection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use admitd::{scenario, Server, ServerConfig, World, WorldConfig};
+use cellsim::{CellId, SimConfig, SimRng, Simulator, TrafficGenerator};
+use sweep::ControllerSpec;
+
+/// Reference accept/reject sequence from the in-process engine.
+fn engine_sequence(config: &SimConfig, n: usize, spec: &ControllerSpec) -> (Vec<bool>, u32) {
+    let mut sim = Simulator::new(config.clone());
+    let mut controller = spec.build();
+    // Rebuild the calls exactly as `run_batch` does.
+    let mut generator = TrafficGenerator::with_model(
+        config.traffic.clone(),
+        &config.traffic_model,
+        SimRng::new(config.seed).derive(0xD15C).derive(1).seed(),
+    );
+    let calls = generator.generate_batch(n);
+    let mut accepts = Vec::with_capacity(n);
+    let mut accepted_so_far = 0;
+    for call in &calls {
+        sim.offer_requests(&mut *controller, std::slice::from_ref(call));
+        let now_accepted = sim.metrics().accepted();
+        accepts.push(now_accepted > accepted_so_far);
+        accepted_so_far = now_accepted;
+    }
+    let occupied = sim
+        .station(&CellId::origin())
+        .expect("origin station")
+        .occupied();
+    (accepts, occupied)
+}
+
+/// Accept/reject sequence observed through the server on one
+/// connection, one frame at a time, plus the final origin occupancy.
+fn server_sequence(config: &SimConfig, n: usize, spec: &ControllerSpec) -> (Vec<bool>, u32) {
+    let world = Arc::new(World::new(
+        &WorldConfig::from_sim_config(config, 1),
+        &spec.label(),
+        || spec.build(),
+    ));
+    let server = Server::bind(Arc::clone(&world), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let frames = scenario::batch_frames(config, n, 0);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.write_all(&admitd::wire::MAGIC).expect("magic");
+    let mut accepts = Vec::with_capacity(n);
+    let mut buf = Vec::new();
+    let mut response = [0u8; 4 + admitd::wire::RESPONSE_PAYLOAD_LEN];
+    for frame in &frames {
+        buf.clear();
+        admitd::wire::encode_request(frame, &mut buf);
+        stream.write_all(&buf).expect("send frame");
+        stream.read_exact(&mut response).expect("read response");
+        let decoded = admitd::wire::decode_response(&response[4..]).expect("decode response");
+        assert_eq!(decoded.id, frame.id(), "responses arrive in request order");
+        assert_ne!(
+            decoded.status,
+            admitd::wire::Status::Overload,
+            "single outstanding frame can never overload"
+        );
+        accepts.push(decoded.status == admitd::wire::Status::Accept);
+    }
+    drop(stream);
+    let occupied = world.occupied(0).expect("origin cell");
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("server thread");
+    (accepts, occupied)
+}
+
+/// One scenario, every controller family the server can host: the
+/// paper's single-cell batch workload at a capacity that forces a mix
+/// of accepts, policy rejections and capacity rejections.
+#[test]
+fn server_replay_is_bit_identical_to_the_engine() {
+    let n = 400;
+    let config = SimConfig::paper_default().with_seed(0xAD817D);
+    for spec in [
+        ControllerSpec::FacsPLut,
+        ControllerSpec::Facs,
+        ControllerSpec::Scc,
+    ] {
+        let (engine_accepts, engine_occupied) = engine_sequence(&config, n, &spec);
+        let (server_accepts, server_occupied) = server_sequence(&config, n, &spec);
+        assert_eq!(
+            engine_accepts,
+            server_accepts,
+            "accept/reject sequence diverged for {}",
+            spec.label()
+        );
+        assert_eq!(
+            engine_occupied,
+            server_occupied,
+            "final occupancy diverged for {}",
+            spec.label()
+        );
+        // The workload must exercise all three outcomes to be a real
+        // determinism proof, not a vacuous all-accept run.
+        assert!(engine_accepts.iter().any(|&a| a), "{}", spec.label());
+        assert!(engine_accepts.iter().any(|&a| !a), "{}", spec.label());
+    }
+}
+
+/// The reference construction above must itself match `run_batch` —
+/// pinning the frame builder to the engine's seeding rules.
+#[test]
+fn reference_sequence_matches_run_batch_totals() {
+    let n = 400;
+    let config = SimConfig::paper_default().with_seed(0xAD817D);
+    let spec = ControllerSpec::FacsPLut;
+    let (accepts, _) = engine_sequence(&config, n, &spec);
+    let mut sim = Simulator::new(config);
+    let mut controller = spec.build();
+    let report = sim.run_batch(&mut *controller, n);
+    assert_eq!(report.offered, n as u64);
+    assert_eq!(
+        report.accepted,
+        accepts.iter().filter(|&&a| a).count() as u64
+    );
+}

@@ -9,6 +9,7 @@
 //! malformed, so the perf trajectory of the hot path is tracked across
 //! PRs.
 
+use admitd::{BenchConfig, Server, ServerConfig, World, WorldConfig};
 use cellsim::geometry::CellId;
 use cellsim::shard::{ShardConfig, ShardedSimulator};
 use cellsim::sim::{
@@ -22,7 +23,7 @@ use cellsim::traffic::{MmppConfig, ServiceClass, TrafficModel};
 use facs::{FacsController, FacsPController, Flc1, Flc2};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use sweep::{builtin, host_parallelism, SweepRunner};
+use sweep::{builtin, host_parallelism, ControllerSpec, SweepRunner};
 
 /// One timed case.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,6 +90,13 @@ pub struct PerfReport {
     /// Metro-scale sharded-engine throughput at 1/2/4 worker threads
     /// (2107 cells; ≥1M peak concurrent users in the full run).
     pub metro: Vec<ShardThroughput>,
+    /// Decision throughput of the `admitd` server over loopback TCP:
+    /// scenario replay through the pipelined binary protocol and the
+    /// micro-batched `decide_batch` path, best observed requests per
+    /// second across the `server/` cases.  Defaults to 0 when loading a
+    /// baseline recorded before the server existed.
+    #[serde(default)]
+    pub server_requests_per_sec: f64,
 }
 
 impl PerfReport {
@@ -270,6 +278,12 @@ impl PerfReport {
                 m.peak_concurrent_users
             ));
         }
+        if self.server_requests_per_sec > 0.0 {
+            out.push_str(&format!(
+                "Server replay throughput (admitd, loopback TCP):    {:.0} requests/s\n",
+                self.server_requests_per_sec
+            ));
+        }
         out.push_str(&format!(
             "Measured on a host with {} core(s)\n",
             self.host_parallelism
@@ -449,6 +463,7 @@ pub fn merge_best(a: &PerfReport, b: &PerfReport) -> PerfReport {
         sim_events_per_sec: a.sim_events_per_sec.max(b.sim_events_per_sec),
         sweep_cells_per_sec,
         metro,
+        server_requests_per_sec: a.server_requests_per_sec.max(b.server_requests_per_sec),
     }
 }
 
@@ -659,6 +674,67 @@ fn time_metro_events(threads: usize, quick: bool) -> (PerfCase, ShardThroughput)
     (case, throughput)
 }
 
+/// Time scenario replay through a real `admitd` server on loopback TCP
+/// at one client-connection count, reporting nanoseconds *per answered
+/// request* of the fastest run (so `1e9 / ns_per_iter` is the server's
+/// requests-per-second throughput).
+///
+/// Every run gets a fresh world and server: replaying the same arrival
+/// stream against warm state would re-admit already-known connection
+/// ids and rewind the per-cell clock, which is not the workload the
+/// case claims to measure.  The world's capacity is raised far above
+/// the paper's 50 BU so the steady-state population (arrival rate x
+/// holding time, well under the limit) never saturates the station —
+/// every frame reaches the controller through the micro-batched
+/// `decide_batch` path instead of dying on the cheap `can_fit`
+/// fast-reject.  The per-connection request count is part of the case
+/// name: quick and full mode time different workloads, and
+/// [`compare_reports`] must never mix them.
+fn time_server_requests(connections: usize, quick: bool) -> PerfCase {
+    let requests_per_connection = if quick { 5_000 } else { 25_000 };
+    let runs = if quick { 2 } else { 3 };
+    let spec = ControllerSpec::FacsPLut;
+    let mut world_config = WorldConfig::paper_default();
+    world_config.station_capacity = 1_000_000;
+    let mut best_ns = f64::INFINITY;
+    let mut answered = 0u64;
+    for _ in 0..runs {
+        let world = std::sync::Arc::new(World::new(&world_config, &spec.label(), || spec.build()));
+        let server = Server::bind(
+            std::sync::Arc::clone(&world),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr().expect("bound address").to_string();
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+        let config = BenchConfig {
+            addr,
+            connections,
+            requests_per_connection,
+            sim: SimConfig::paper_default().with_seed(0xBEEF),
+        };
+        let report = admitd::client::run(&config).expect("loopback replay");
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        handle
+            .join()
+            .expect("server thread")
+            .expect("clean server shutdown");
+        assert_eq!(report.errors, 0, "loopback replay must not error");
+        answered += report.requests;
+        best_ns = best_ns.min(1e9 / report.requests_per_sec);
+    }
+    PerfCase {
+        name: format!(
+            "server/replay pipelined (facs-p-lut, {connections} conn, \
+             {requests_per_connection} req/conn)"
+        ),
+        ns_per_iter: best_ns,
+        iters: answered,
+    }
+}
+
 fn probe_request(class: ServiceClass, speed: f64, angle: f64) -> AdmissionRequest {
     AdmissionRequest {
         id: 1,
@@ -789,8 +865,13 @@ pub fn run_with_telemetry(quick: bool) -> (PerfReport, TelemetrySnapshot) {
         })
         .collect();
     let mut decisions: Vec<AdmissionDecision> = Vec::with_capacity(batch.len());
-    cases.push(time_case(
-        "controller/facs-p decide_batch(32)",
+    // Each timed iteration decides the whole 32-request batch, but every
+    // neighbouring case in the table is per-decision, so the case reports
+    // ns *per decision* (whole-batch time / 32) and says so in its name —
+    // a new name, so `--check` never compares it against the old
+    // whole-batch baseline entries.
+    let mut batch_case = time_case(
+        "controller/facs-p decide_batch(32, ns/decision)",
         iters / 16,
         || {
             facsp.decide_batch(
@@ -800,7 +881,10 @@ pub fn run_with_telemetry(quick: bool) -> (PerfReport, TelemetrySnapshot) {
             );
             decisions[0].score
         },
-    ));
+    );
+    batch_case.ns_per_iter /= batch.len() as f64;
+    batch_case.iters *= batch.len() as u64;
+    cases.push(batch_case);
 
     // --- the headline: interpreted vs compiled/LUT full cascade ---------
     let interpreted_cascade = {
@@ -880,6 +964,14 @@ pub fn run_with_telemetry(quick: bool) -> (PerfReport, TelemetrySnapshot) {
         cases.push(case);
     }
 
+    // --- admission service: scenario replay over loopback TCP -----------
+    let mut server_requests_per_sec = 0.0f64;
+    for connections in [1usize, 4] {
+        let case = time_server_requests(connections, quick);
+        server_requests_per_sec = server_requests_per_sec.max(1e9 / case.ns_per_iter);
+        cases.push(case);
+    }
+
     let report = PerfReport {
         quick,
         host_parallelism: host_parallelism(),
@@ -889,6 +981,7 @@ pub fn run_with_telemetry(quick: bool) -> (PerfReport, TelemetrySnapshot) {
         sim_events_per_sec,
         sweep_cells_per_sec,
         metro,
+        server_requests_per_sec,
     };
     let snapshot = compose_bench_snapshot(&report, sim_snapshot);
     (report, snapshot)
@@ -969,6 +1062,14 @@ mod tests {
                 ))
                 .is_some());
         }
+        for connections in [1, 4] {
+            assert!(report
+                .case(&format!(
+                    "server/replay pipelined (facs-p-lut, {connections} conn, 5000 req/conn)"
+                ))
+                .is_some());
+        }
+        assert!(report.server_requests_per_sec.is_finite() && report.server_requests_per_sec > 0.0);
         assert!(report.sim_events_per_sec.is_finite() && report.sim_events_per_sec > 0.0);
         assert_eq!(report.sweep_cells_per_sec.len(), 3);
         for s in &report.sweep_cells_per_sec {
@@ -1039,6 +1140,7 @@ mod tests {
                     peak_concurrent_users: 1_200_000,
                 },
             ],
+            server_requests_per_sec: 250_000.0,
         }
     }
 
@@ -1168,6 +1270,7 @@ mod tests {
         second.sim_events_per_sec = 2e6;
         second.sweep_cells_per_sec[1].cells_per_sec = 4000.0;
         second.metro[0].events_per_sec = 1.5e6;
+        second.server_requests_per_sec = 400_000.0;
 
         let merged = merge_best(&first, &second);
         assert_eq!(merged.case("a").unwrap().ns_per_iter, 100.0);
@@ -1177,6 +1280,7 @@ mod tests {
         assert_eq!(merged.sim_events_per_sec, 2e6);
         assert_eq!(merged.sweep_cells_per_sec[1].cells_per_sec, 4000.0);
         assert_eq!(merged.metro[0].events_per_sec, 1.5e6);
+        assert_eq!(merged.server_requests_per_sec, 400_000.0);
         // No cascade cases in the synthetic reports, so the headline
         // speedups fall back to the better of the two runs.
         assert_eq!(merged.facs_decision_speedup, 10.0);

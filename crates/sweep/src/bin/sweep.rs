@@ -7,7 +7,13 @@
 //! sweep --all --quick                   # every built-in scenario
 //! sweep --list                          # list built-in scenario names
 //! sweep --print-spec highway-handoff    # dump a spec as editable JSON
+//! sweep --scenario paper-default --trace calls.trace   # replay a trace
 //! ```
+//!
+//! `--trace PATH` loads a measured arrival trace (one
+//! `inter_arrival_s duration_s class` line per call — the
+//! [`cellsim::parse_trace`] format) and replays it as every selected
+//! scenario's traffic model in place of the synthetic generator.
 //!
 //! `--telemetry PATH` runs the grid with the instrumented recorder and
 //! writes the merged telemetry snapshot — Prometheus text exposition when
@@ -33,13 +39,14 @@ struct Args {
     json: Option<String>,
     csv: Option<String>,
     telemetry: Option<String>,
+    trace: Option<String>,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
     "usage: sweep (--scenario NAME | --spec PATH.json | --all | --list | --print-spec NAME)\n\
      \x20      [--quick] [--threads N] [--seed N] [--json PATH] [--csv PATH]\n\
-     \x20      [--telemetry PATH(.prom|.json)] [--quiet]\n\
+     \x20      [--telemetry PATH(.prom|.json)] [--trace PATH] [--quiet]\n\
      built-in scenarios: paper-default, highway-handoff, downtown-hotspot, \
      flash-crowd, mixed-multimedia, metro"
 }
@@ -58,6 +65,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         json: None,
         csv: None,
         telemetry: None,
+        trace: None,
         quiet: false,
     };
     let mut it = argv.iter();
@@ -91,6 +99,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--json" => args.json = Some(value("--json")?),
             "--csv" => args.csv = Some(value("--csv")?),
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
+            "--trace" => args.trace = Some(value("--trace")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 args.help = true;
@@ -122,6 +131,17 @@ fn load_specs(args: &Args) -> Result<Vec<ScenarioSpec>, String> {
         });
     }
     Err(usage().to_string())
+}
+
+/// Load a `--trace` file into a replayable traffic model.
+///
+/// Errors carry the path plus the parser's own diagnosis (which names
+/// the offending line), so a malformed trace fails with a message the
+/// user can act on rather than a bare parse error.
+fn load_trace(path: &str) -> Result<cellsim::TraceConfig, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("could not read trace {path}: {e}"))?;
+    cellsim::TraceConfig::from_text(&text).map_err(|e| format!("invalid trace {path}: {e}"))
 }
 
 fn write_or_die(path: &str, contents: &str) -> Result<(), String> {
@@ -175,12 +195,16 @@ fn run() -> Result<(), String> {
 
     let mut specs = load_specs(&args)?;
     let many = specs.len() > 1;
+    let trace = args.trace.as_deref().map(load_trace).transpose()?;
     for spec in &mut specs {
         if args.quick {
             *spec = spec.clone().quick();
         }
         if let Some(seed) = args.seed {
             *spec = spec.clone().with_base_seed(seed);
+        }
+        if let Some(config) = &trace {
+            spec.traffic_model = cellsim::TrafficModel::Trace(config.clone());
         }
     }
 
@@ -283,6 +307,47 @@ mod tests {
         let args = parse_args(&["--help".to_string()]).unwrap();
         assert!(args.help);
         assert!(parse_args(&["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn trace_flag_parses() {
+        let argv: Vec<String> = ["--scenario", "paper-default", "--trace", "calls.trace"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let args = parse_args(&argv).unwrap();
+        assert_eq!(args.trace.as_deref(), Some("calls.trace"));
+        assert!(parse_args(&["--trace".to_string()]).is_err());
+    }
+
+    #[test]
+    fn trace_loader_reads_a_valid_file() {
+        let path = std::env::temp_dir().join("sweep-trace-valid.trace");
+        std::fs::write(
+            &path,
+            "# gap duration class\n0.0 120.0 voice\n1.5 300.0 video\n",
+        )
+        .unwrap();
+        let config = load_trace(path.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(config.entries.len(), 2);
+        assert!(config.loop_replay);
+    }
+
+    #[test]
+    fn trace_loader_names_the_file_and_line_of_a_malformed_entry() {
+        let path = std::env::temp_dir().join("sweep-trace-malformed.trace");
+        std::fs::write(&path, "0.0 120.0 voice\n1.0 oops video\n").unwrap();
+        let err = load_trace(path.to_str().unwrap()).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            err.contains("sweep-trace-malformed.trace"),
+            "error must name the file: {err}"
+        );
+        assert!(err.contains("line 2"), "error must name the line: {err}");
+
+        let missing = load_trace("/nonexistent/calls.trace").unwrap_err();
+        assert!(missing.contains("could not read trace"), "{missing}");
     }
 
     #[test]

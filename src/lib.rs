@@ -9,7 +9,10 @@
 //! * [`facs`] — the FACS and FACS-P fuzzy admission controllers (the
 //!   paper's contribution);
 //! * [`sweep`] — declarative scenario specs and the deterministic
-//!   parallel experiment engine (`facs-sweep`).
+//!   parallel experiment engine (`facs-sweep`);
+//! * [`admitd`] — the admission-decision server: the batched request
+//!   path, wire protocol and load generator behind the `admitd` binary
+//!   (`facs-admitd`).
 //!
 //! The `telemetry` cargo feature switches the default simulator recorder
 //! from the zero-cost no-op to a live registry (see
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use admitd;
 pub use cellsim;
 pub use facs;
 pub use fuzzy;
@@ -41,6 +45,7 @@ pub use sweep;
 
 /// Commonly used types from every crate in the workspace.
 pub mod prelude {
+    pub use admitd::{Server, ServerConfig, ServerSummary, World, WorldConfig};
     pub use cellsim::telemetry::{NoopRecorder, Recorder, Registry, TelemetrySnapshot};
     pub use cellsim::traffic::TrafficConfig;
     pub use cellsim::{

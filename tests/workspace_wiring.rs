@@ -44,6 +44,28 @@ fn facade_run_is_deterministic_and_serializable() {
     assert_eq!(back, first);
 }
 
+/// The admission server's world is reachable through the facade and
+/// agrees with the engine it wraps: the same spec-built controller
+/// admits through `World::process` exactly as many requests as the
+/// batched path reports.
+#[test]
+fn prelude_exposes_the_admission_server_world() {
+    let spec = ControllerSpec::FacsP;
+    let world = World::new(&WorldConfig::paper_default(), &spec.label(), || {
+        spec.build()
+    });
+    let frames = facs_suite::admitd::scenario::batch_frames(&SimConfig::paper_default(), 50, 0);
+    let mut responses = Vec::new();
+    world.process(&frames, &mut responses);
+    assert_eq!(responses.len(), frames.len());
+    let accepted = responses
+        .iter()
+        .filter(|r| r.status == facs_suite::admitd::wire::Status::Accept)
+        .count();
+    assert!(accepted > 0, "paper workload should admit something");
+    assert!(world.occupied(0).unwrap() > 0);
+}
+
 /// The fuzzy substrate re-exported by the prelude is usable on its own:
 /// the paper's FLC1 membership shapes can be rebuilt from scratch.
 #[test]
