@@ -4,20 +4,26 @@
 //! ```text
 //! admitd serve [--addr H:P] [--controller NAME] [--scenario NAME]
 //!              [--grid-radius N] [--cell-radius M] [--capacity BU]
-//!              [--shards N] [--max-pending N]
+//!              [--shards N] [--max-pending N] [--chaos SEED]
+//!              [--snapshot PATH] [--snapshot-every SECS]
+//!              [--restore PATH] [--release-on-disconnect]
 //! admitd bench [--addr H:P] [--scenario NAME] [--connections N]
-//!              [--requests N] [--seed N] [--json]
+//!              [--requests N] [--seed N] [--retries N]
+//!              [--deadline-ms MS] [--json]
 //! admitd check-metrics PATH
 //! ```
 //!
 //! `serve` runs until SIGINT/SIGTERM (installed via a raw `signal(2)`
 //! binding — the workspace is offline, so no signal crate), then joins
-//! every connection, logs a state summary and exits 0.
+//! every connection, logs a state summary and exits 0.  `--chaos`,
+//! `--snapshot`/`--restore` and `--release-on-disconnect` are the
+//! robustness toolkit documented in `docs/FAULTS.md`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use admitd::{client, parse_controller, Server, ServerConfig, World, WorldConfig};
+use admitd::{client, parse_controller, ChaosConfig, Server, ServerConfig, World, WorldConfig};
 use cellsim::SimConfig;
 use sweep::{builtin, builtin_names, ControllerSpec};
 
@@ -52,14 +58,24 @@ admitd — admission control as a service
 USAGE:
     admitd serve [--addr HOST:PORT] [--controller NAME] [--scenario NAME]
                  [--grid-radius N] [--cell-radius METRES] [--capacity BU]
-                 [--shards N] [--max-pending N]
+                 [--shards N] [--max-pending N] [--chaos SEED]
+                 [--snapshot PATH] [--snapshot-every SECS]
+                 [--restore PATH] [--release-on-disconnect]
     admitd bench [--addr HOST:PORT] [--scenario NAME] [--connections N]
-                 [--requests N] [--seed N] [--json]
+                 [--requests N] [--seed N] [--retries N]
+                 [--deadline-ms MS] [--json]
     admitd check-metrics PATH
 
 Controllers: facs-p (default), facs-p-lut, facs, scc, always-accept,
 threshold:NEW/HANDOFF.  --scenario adopts a built-in sweep scenario's
-grid/capacity (serve) or arrival stream (bench).";
+grid/capacity (serve) or arrival stream (bench).
+
+Robustness (docs/FAULTS.md): --chaos injects seeded connection resets,
+delays and truncated frames server-side; --snapshot checkpoints world
+state every --snapshot-every seconds (and on shutdown) for --restore
+after a crash; --release-on-disconnect frees a dropped client's calls.
+bench survives all of it with --retries reconnect attempts per
+connection and an optional per-request --deadline-ms.";
 
 /// Pop `--flag VALUE` pairs from an argument list.
 struct Args<'a> {
@@ -109,6 +125,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let mut world_config = WorldConfig::paper_default();
     let mut server_config = ServerConfig::default();
     let mut scenario: Option<String> = None;
+    let mut restore: Option<String> = None;
     let mut args = Args::new(rest);
     while let Some(flag) = args.next_flag() {
         match flag {
@@ -124,6 +141,22 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
             "--max-pending" => {
                 server_config.max_pending = parse_num::<usize>(flag, args.value(flag)?)?.max(1);
             }
+            "--chaos" => {
+                server_config.chaos =
+                    Some(ChaosConfig::with_seed(parse_num(flag, args.value(flag)?)?));
+            }
+            "--snapshot" => {
+                server_config.snapshot_path = Some(args.value(flag)?.into());
+            }
+            "--snapshot-every" => {
+                let secs: f64 = parse_num(flag, args.value(flag)?)?;
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    return Err(format!("{flag}: `{secs}` is not a valid interval"));
+                }
+                server_config.snapshot_every = Duration::from_secs_f64(secs);
+            }
+            "--restore" => restore = Some(args.value(flag)?.to_string()),
+            "--release-on-disconnect" => server_config.release_on_disconnect = true,
             other => return Err(format!("unknown serve flag `{other}`\n{USAGE}")),
         }
     }
@@ -138,6 +171,17 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let world = Arc::new(World::new(&world_config, &controller.label(), || {
         controller.build()
     }));
+    if let Some(path) = &restore {
+        let snapshot = admitd::state::load_snapshot(std::path::Path::new(path))?;
+        let restored = world.restore(&snapshot).map_err(|e| {
+            format!("cannot restore {path}: {e} (did the grid/shard flags change?)")
+        })?;
+        println!(
+            "admitd: restored {restored} live connections from {path} \
+             (snapshot taken under {})",
+            snapshot.controller
+        );
+    }
     let server = Server::bind(Arc::clone(&world), &addr, server_config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let bound = server
@@ -164,6 +208,7 @@ fn cmd_bench(rest: &[String]) -> Result<(), String> {
         connections: 4,
         requests_per_connection: 25_000,
         sim: SimConfig::paper_default(),
+        retry: client::RetryConfig::default(),
     };
     let mut controller = ControllerSpec::FacsP;
     let mut scenario: Option<String> = None;
@@ -183,6 +228,17 @@ fn cmd_bench(rest: &[String]) -> Result<(), String> {
                     parse_num::<usize>(flag, args.value(flag)?)?.max(1);
             }
             "--seed" => seed = Some(parse_num(flag, args.value(flag)?)?),
+            "--retries" => {
+                let retries: u32 = parse_num(flag, args.value(flag)?)?;
+                config.retry.max_attempts = retries.saturating_add(1);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(flag, args.value(flag)?)?;
+                if ms == 0 {
+                    return Err(format!("{flag}: the deadline must be positive"));
+                }
+                config.retry.deadline = Some(Duration::from_millis(ms));
+            }
             "--json" => json = true,
             other => return Err(format!("unknown bench flag `{other}`\n{USAGE}")),
         }
@@ -202,7 +258,7 @@ fn cmd_bench(rest: &[String]) -> Result<(), String> {
     } else {
         println!(
             "admitd bench: {} requests over {} connections in {:.3}s — {:.0} req/s \
-             ({} accepted, {} rejected, {} overloaded, {} errors), \
+             ({} accepted, {} rejected, {} overloaded, {} errors, {} reconnects), \
              latency p50 ≤ {}ns p99 ≤ {}ns",
             report.requests,
             report.connections,
@@ -212,6 +268,7 @@ fn cmd_bench(rest: &[String]) -> Result<(), String> {
             report.rejected,
             report.overloaded,
             report.errors,
+            report.reconnects,
             report.latency_p50_ns,
             report.latency_p99_ns,
         );

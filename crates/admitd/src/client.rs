@@ -7,13 +7,24 @@
 //! outstanding frame — and per-frame latency is recorded into a
 //! [`telemetry`] log2 histogram, merged across connections for the
 //! final report.
+//!
+//! # Resilience
+//!
+//! Each connection keeps a cursor over its frame stream and advances
+//! it only on acknowledged responses.  When the transport fails — a
+//! reset, a truncated frame, a missed per-request deadline — the
+//! connection backs off (capped exponential, deterministic jitter from
+//! the [`RetryConfig::seed`]), reconnects transparently and resends
+//! every unacknowledged frame.  The server answers replayed admits
+//! idempotently, so at-least-once delivery converges on exactly-once
+//! state.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use cellsim::SimConfig;
+use cellsim::{SimConfig, SimRng};
 use serde::Serialize;
 use telemetry::{Recorder, Registry, TelemetrySnapshot};
 
@@ -23,6 +34,49 @@ use crate::wire::{self, Request, Status};
 
 /// Pipelined frames per write window.
 const WINDOW: usize = 64;
+
+/// Reconnect, backoff and deadline policy of the load generator.
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total connection attempts per bench connection (1 = fail on the
+    /// first transport error, the pre-chaos behaviour).
+    pub max_attempts: u32,
+    /// Backoff before the first reconnect; doubles per consecutive
+    /// failure.
+    pub base_backoff: Duration,
+    /// Cap on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+    /// Per-request response deadline; `None` waits indefinitely.
+    pub deadline: Option<Duration>,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            deadline: None,
+            seed: 0x00AD_5EED,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The jittered backoff before reconnect attempt number
+    /// `failures` (1-based): `base * 2^(failures-1)` capped at
+    /// [`RetryConfig::max_backoff`], scaled by a uniform draw in
+    /// `[0.5, 1.0)` so a fleet of clients never thunders back in
+    /// lockstep.
+    #[must_use]
+    pub fn backoff(&self, failures: u32, rng: &mut SimRng) -> Duration {
+        let doubled = self.base_backoff.as_secs_f64() * f64::from(1_u32 << (failures - 1).min(16));
+        let capped = doubled.min(self.max_backoff.as_secs_f64());
+        Duration::from_secs_f64(capped * rng.uniform(0.5, 1.0))
+    }
+}
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -35,6 +89,20 @@ pub struct BenchConfig {
     pub requests_per_connection: usize,
     /// Scenario whose arrival stream is replayed.
     pub sim: SimConfig,
+    /// Reconnect/backoff/deadline policy.
+    pub retry: RetryConfig,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4640".to_string(),
+            connections: 4,
+            requests_per_connection: 25_000,
+            sim: SimConfig::paper_default(),
+            retry: RetryConfig::default(),
+        }
+    }
 }
 
 /// Aggregated results of one bench run.
@@ -61,6 +129,8 @@ pub struct BenchReport {
     pub latency_p50_ns: u64,
     /// 99th-percentile latency (nanoseconds, log2-bucket upper bound).
     pub latency_p99_ns: u64,
+    /// Transparent reconnects performed across all connections.
+    pub reconnects: u64,
 }
 
 struct ConnStats {
@@ -69,6 +139,7 @@ struct ConnStats {
     rejected: u64,
     overloaded: u64,
     errors: u64,
+    reconnects: u64,
     elapsed_s: f64,
     telemetry: TelemetrySnapshot,
 }
@@ -81,12 +152,13 @@ pub fn run(config: &BenchConfig) -> io::Result<BenchReport> {
     for conn_index in 0..connections {
         let addr = config.addr.clone();
         let sim = config.sim.clone();
+        let retry = config.retry.clone();
         handles.push(std::thread::spawn(move || -> io::Result<ConnStats> {
             // Distinct id ranges so concurrent replays never collide on
             // live connection ids.
             let offset = conn_index as u64 * 1_000_000_000;
             let frames = scenario::batch_frames(&sim, per_conn, offset);
-            run_connection(&addr, &frames)
+            run_connection(&addr, &frames, &retry, conn_index as u64)
         }));
     }
     let mut merged = TelemetrySnapshot::default();
@@ -101,6 +173,7 @@ pub fn run(config: &BenchConfig) -> io::Result<BenchReport> {
         requests_per_sec: 0.0,
         latency_p50_ns: 0,
         latency_p99_ns: 0,
+        reconnects: 0,
     };
     for handle in handles {
         let stats = handle
@@ -111,6 +184,7 @@ pub fn run(config: &BenchConfig) -> io::Result<BenchReport> {
         report.rejected += stats.rejected;
         report.overloaded += stats.overloaded;
         report.errors += stats.errors;
+        report.reconnects += stats.reconnects;
         report.elapsed_s = report.elapsed_s.max(stats.elapsed_s);
         merged.merge(&stats.telemetry);
     }
@@ -121,10 +195,18 @@ pub fn run(config: &BenchConfig) -> io::Result<BenchReport> {
     Ok(report)
 }
 
-/// Replay one frame stream over one connection, returning its stats.
-fn run_connection(addr: &str, frames: &[Request]) -> io::Result<ConnStats> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
+/// Replay one frame stream, reconnecting through transport failures,
+/// and return the connection's stats.
+///
+/// The cursor advances only on acknowledged responses, so every frame
+/// is counted exactly once even when the tail of a window has to be
+/// resent after a reconnect.
+fn run_connection(
+    addr: &str,
+    frames: &[Request],
+    retry: &RetryConfig,
+    conn_index: u64,
+) -> io::Result<ConnStats> {
     let mut registry = Registry::for_schema(&SCHEMA);
     let mut stats = ConnStats {
         sent: 0,
@@ -132,24 +214,74 @@ fn run_connection(addr: &str, frames: &[Request]) -> io::Result<ConnStats> {
         rejected: 0,
         overloaded: 0,
         errors: 0,
+        reconnects: 0,
         elapsed_s: 0.0,
         telemetry: TelemetrySnapshot::default(),
     };
+    let mut rng = SimRng::new(retry.seed).derive(conn_index ^ 0x00BA_C0FF);
+    let max_attempts = retry.max_attempts.max(1);
+    let mut cursor = 0usize;
+    let mut attempt = 0u32;
+    let started = Instant::now();
+    while cursor < frames.len() {
+        attempt += 1;
+        match replay_from(
+            addr,
+            frames,
+            &mut cursor,
+            &mut stats,
+            &mut registry,
+            retry.deadline,
+        ) {
+            Ok(()) => break,
+            Err(e) if attempt >= max_attempts => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!(
+                        "connection to {addr} failed after {attempt} attempt(s): {e} \
+                         (is `admitd serve` running at {addr}?)"
+                    ),
+                ));
+            }
+            Err(_) => {
+                stats.reconnects += 1;
+                std::thread::sleep(retry.backoff(attempt, &mut rng));
+            }
+        }
+    }
+    stats.elapsed_s = started.elapsed().as_secs_f64();
+    stats.telemetry = registry.snapshot();
+    Ok(stats)
+}
+
+/// One connection attempt: connect, then pipeline `frames[*cursor..]`
+/// in windows, advancing the cursor per acknowledged response.
+fn replay_from(
+    addr: &str,
+    frames: &[Request],
+    cursor: &mut usize,
+    stats: &mut ConnStats,
+    registry: &mut Registry,
+    deadline: Option<Duration>,
+) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(deadline)?;
     let mut outbuf = Vec::with_capacity(WINDOW * 72);
     let mut inbuf: Vec<u8> = Vec::with_capacity(WINDOW * 32);
     let mut chunk = [0u8; 16 * 1024];
     let mut sent_at: VecDeque<Instant> = VecDeque::with_capacity(WINDOW);
-    let started = Instant::now();
     stream.write_all(&wire::MAGIC)?;
-    for window in frames.chunks(WINDOW) {
+    while *cursor < frames.len() {
+        let window = &frames[*cursor..(*cursor + WINDOW).min(frames.len())];
         outbuf.clear();
         for frame in window {
             wire::encode_request(frame, &mut outbuf);
         }
         stream.write_all(&outbuf)?;
         let now = Instant::now();
+        sent_at.clear();
         sent_at.extend(std::iter::repeat_n(now, window.len()));
-        stats.sent += window.len() as u64;
 
         let mut pending = window.len();
         while pending > 0 {
@@ -160,6 +292,8 @@ fn run_connection(addr: &str, frames: &[Request]) -> io::Result<ConnStats> {
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
                 inbuf.drain(..end);
                 pending -= 1;
+                *cursor += 1;
+                stats.sent += 1;
                 if let Some(at) = sent_at.pop_front() {
                     let ns = at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                     registry.observe(metrics::histogram::CLIENT_LATENCY_NS, ns);
@@ -172,7 +306,21 @@ fn run_connection(addr: &str, frames: &[Request]) -> io::Result<ConnStats> {
                 }
                 continue;
             }
-            let n = stream.read(&mut chunk)?;
+            let n = match stream.read(&mut chunk) {
+                Ok(n) => n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request deadline exceeded",
+                    ));
+                }
+                Err(e) => return Err(e),
+            };
             if n == 0 {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -182,9 +330,7 @@ fn run_connection(addr: &str, frames: &[Request]) -> io::Result<ConnStats> {
             inbuf.extend_from_slice(&chunk[..n]);
         }
     }
-    stats.elapsed_s = started.elapsed().as_secs_f64();
-    stats.telemetry = registry.snapshot();
-    Ok(stats)
+    Ok(())
 }
 
 /// `(p50, p99)` upper bounds from the merged client latency histogram.

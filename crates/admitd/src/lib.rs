@@ -13,14 +13,18 @@
 //! The crate splits into:
 //!
 //! - [`wire`] — the binary frame protocol (see `docs/SERVER.md`);
-//! - [`state`] — the sharded world and the micro-batching engine;
+//! - [`state`] — the sharded world, the micro-batching engine and the
+//!   snapshot/restore checkpoint path (see `docs/FAULTS.md`);
 //! - [`server`] — accept loop, backpressure, HTTP endpoints, shutdown;
-//! - [`client`] — the scenario-replay load generator;
+//! - [`chaos`] — seeded, deterministic transport-fault injection;
+//! - [`client`] — the scenario-replay load generator, with capped
+//!   exponential backoff and transparent reconnect;
 //! - [`scenario`] — bit-exact reconstruction of a simulator scenario's
 //!   arrival stream (the determinism tests replay it through the
 //!   server and demand the engine's exact accept/reject sequence);
 //! - [`metrics`] — the `admitd` telemetry schema.
 
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod metrics;
@@ -29,9 +33,10 @@ pub mod server;
 pub mod state;
 pub mod wire;
 
-pub use client::{BenchConfig, BenchReport};
+pub use chaos::{ChaosAction, ChaosConfig, ChaosInjector};
+pub use client::{BenchConfig, BenchReport, RetryConfig};
 pub use server::{Server, ServerConfig, ServerSummary};
-pub use state::{World, WorldConfig};
+pub use state::{World, WorldConfig, WorldSnapshot};
 
 use sweep::ControllerSpec;
 

@@ -29,6 +29,15 @@ pub mod counter {
     pub const BATCHES: CounterId = CounterId(8);
     /// Connections the controller saw expire (implicit releases).
     pub const EXPIRED: CounterId = CounterId(9);
+    /// Connections freed because their client disconnected
+    /// (`--release-on-disconnect`).
+    pub const DISCONNECT_RELEASES: CounterId = CounterId(10);
+    /// Chaos injections: connections reset before a response window.
+    pub const CHAOS_RESETS: CounterId = CounterId(11);
+    /// Chaos injections: response windows truncated mid-frame.
+    pub const CHAOS_TRUNCATIONS: CounterId = CounterId(12);
+    /// Chaos injections: response windows delayed.
+    pub const CHAOS_DELAYS: CounterId = CounterId(13);
 }
 
 /// Histogram ids into [`SCHEMA`].
@@ -122,6 +131,26 @@ pub static SCHEMA: Schema = Schema {
             name: "admitd_expired_releases_total",
             help: "Connections released by holding-time expiry",
             labels: &[],
+        },
+        MetricDef {
+            name: "admitd_disconnect_releases_total",
+            help: "Connections freed because their client disconnected",
+            labels: &[],
+        },
+        MetricDef {
+            name: "admitd_chaos_injections_total",
+            help: "Server-side chaos faults injected, by kind",
+            labels: &[("kind", "reset")],
+        },
+        MetricDef {
+            name: "admitd_chaos_injections_total",
+            help: "Server-side chaos faults injected, by kind",
+            labels: &[("kind", "truncate")],
+        },
+        MetricDef {
+            name: "admitd_chaos_injections_total",
+            help: "Server-side chaos faults injected, by kind",
+            labels: &[("kind", "delay")],
         },
     ],
     histograms: &[

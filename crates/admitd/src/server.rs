@@ -31,15 +31,17 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use telemetry::{Recorder, Registry, TelemetrySnapshot};
 
+use crate::chaos::{ChaosAction, ChaosConfig, ChaosInjector};
 use crate::http;
 use crate::metrics::{self, SCHEMA};
-use crate::state::World;
+use crate::state::{self, World};
 use crate::wire::{self, Request, Response};
 
 /// Process-global shutdown flag, set by signal handlers in the binary.
@@ -66,6 +68,16 @@ pub struct ServerConfig {
     /// Read timeout used to poll the shutdown flag on idle
     /// connections.
     pub poll_interval: Duration,
+    /// Seeded transport-fault injection (`--chaos`); `None` serves
+    /// faithfully.
+    pub chaos: Option<ChaosConfig>,
+    /// Free a disconnected client's still-admitted connections
+    /// (`--release-on-disconnect`).
+    pub release_on_disconnect: bool,
+    /// Periodically checkpoint world state to this path (`--snapshot`).
+    pub snapshot_path: Option<PathBuf>,
+    /// Interval between checkpoints when `snapshot_path` is set.
+    pub snapshot_every: Duration,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +85,10 @@ impl Default for ServerConfig {
         Self {
             max_pending: 1024,
             poll_interval: Duration::from_millis(50),
+            chaos: None,
+            release_on_disconnect: false,
+            snapshot_path: None,
+            snapshot_every: Duration::from_secs(1),
         }
     }
 }
@@ -151,18 +167,31 @@ impl Server {
     /// handler and return the session totals.
     pub fn run(self) -> io::Result<ServerSummary> {
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut connection_index: u64 = 0;
+        let mut last_snapshot = Instant::now();
         while !self.should_stop() {
+            if let Some(path) = &self.config.snapshot_path {
+                if last_snapshot.elapsed() >= self.config.snapshot_every {
+                    if let Err(e) = state::save_snapshot(&self.world, path) {
+                        eprintln!("admitd: snapshot to {} failed: {e}", path.display());
+                    }
+                    last_snapshot = Instant::now();
+                }
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let world = Arc::clone(&self.world);
                     let registry = Arc::clone(&self.registry);
                     let shutdown = Arc::clone(&self.shutdown);
                     let config = self.config.clone();
+                    let index = connection_index;
+                    connection_index += 1;
                     // Reap finished handlers so a long-lived server does
                     // not accumulate join handles.
                     handlers.retain(|h| !h.is_finished());
                     handlers.push(std::thread::spawn(move || {
-                        let _ = handle_connection(stream, &world, &registry, &shutdown, &config);
+                        let _ =
+                            handle_connection(stream, &world, &registry, &shutdown, &config, index);
                     }));
                     self.registry
                         .lock()
@@ -181,11 +210,19 @@ impl Server {
             listener,
             world,
             registry,
+            config,
             ..
         } = self;
         drop(listener);
         for handle in handlers {
             let _ = handle.join();
+        }
+        // One final checkpoint after the drain, so a clean shutdown
+        // leaves the freshest possible restore point behind.
+        if let Some(path) = &config.snapshot_path {
+            if let Err(e) = state::save_snapshot(&world, path) {
+                eprintln!("admitd: final snapshot to {} failed: {e}", path.display());
+            }
         }
         Ok(summary_from(&merged_telemetry(&world, &registry)))
     }
@@ -277,6 +314,7 @@ fn handle_connection(
     registry: &Mutex<Registry>,
     shutdown: &AtomicBool,
     config: &ServerConfig,
+    connection_index: u64,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(config.poll_interval))?;
@@ -300,7 +338,7 @@ fn handle_connection(
             .lock()
             .expect("server registry")
             .add(metrics::counter::CONNECTIONS, 1);
-        serve_binary(stream, world, shutdown, config)
+        serve_binary(stream, world, registry, shutdown, config, connection_index)
     } else {
         registry
             .lock()
@@ -318,10 +356,43 @@ fn would_block(e: &io::Error) -> bool {
 }
 
 fn serve_binary(
-    mut stream: TcpStream,
+    stream: TcpStream,
     world: &World,
+    registry: &Mutex<Registry>,
     shutdown: &AtomicBool,
     config: &ServerConfig,
+    connection_index: u64,
+) -> io::Result<()> {
+    let mut chaos = config
+        .chaos
+        .as_ref()
+        .map(|c| ChaosInjector::for_connection(c, connection_index));
+    let mut admitted: Vec<(u32, u64)> = Vec::new();
+    let result = serve_binary_loop(
+        stream,
+        world,
+        registry,
+        shutdown,
+        config,
+        &mut chaos,
+        &mut admitted,
+    );
+    // Whatever ended the stream — clean EOF, an io error or a chaos
+    // cut — the client is gone; free what it still held if asked to.
+    if config.release_on_disconnect && !admitted.is_empty() {
+        world.release_abandoned(&admitted);
+    }
+    result
+}
+
+fn serve_binary_loop(
+    mut stream: TcpStream,
+    world: &World,
+    registry: &Mutex<Registry>,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+    chaos: &mut Option<ChaosInjector>,
+    admitted: &mut Vec<(u32, u64)>,
 ) -> io::Result<()> {
     let mut inbuf: Vec<u8> = Vec::with_capacity(64 * 1024);
     let mut chunk = [0u8; 64 * 1024];
@@ -358,6 +429,9 @@ fn serve_binary(
 
         responses.clear();
         world.process(&requests, &mut responses);
+        if config.release_on_disconnect {
+            track_admissions(&requests, &responses, admitted);
+        }
 
         // Interleave decided and shed responses back into arrival order.
         outbuf.clear();
@@ -375,7 +449,56 @@ fn serve_binary(
             let response = decided.next().expect("one response per request");
             wire::encode_response(response, &mut outbuf);
         }
+
+        // Chaos fires *after* the world mutated and *before* the client
+        // hears about it — exactly the window a real crash would hit.
+        if let Some(injector) = chaos {
+            match injector.next_action() {
+                ChaosAction::None => {}
+                ChaosAction::Delay(delay) => {
+                    registry
+                        .lock()
+                        .expect("server registry")
+                        .add(metrics::counter::CHAOS_DELAYS, 1);
+                    std::thread::sleep(delay);
+                }
+                ChaosAction::Truncate => {
+                    registry
+                        .lock()
+                        .expect("server registry")
+                        .add(metrics::counter::CHAOS_TRUNCATIONS, 1);
+                    let _ = stream.write_all(&outbuf[..outbuf.len() / 2]);
+                    return Ok(());
+                }
+                ChaosAction::Reset => {
+                    registry
+                        .lock()
+                        .expect("server registry")
+                        .add(metrics::counter::CHAOS_RESETS, 1);
+                    return Ok(());
+                }
+            }
+        }
         stream.write_all(&outbuf)?;
+    }
+}
+
+/// Maintain the set of connections this client is responsible for:
+/// accepted admits join it, client-issued releases leave it.
+fn track_admissions(requests: &[Request], responses: &[Response], admitted: &mut Vec<(u32, u64)>) {
+    for (request, response) in requests.iter().zip(responses) {
+        match request {
+            Request::Admit(frame)
+                if response.status == wire::Status::Accept
+                    && !admitted.contains(&(frame.cell, frame.id)) =>
+            {
+                admitted.push((frame.cell, frame.id));
+            }
+            Request::Release(frame) => {
+                admitted.retain(|&(cell, id)| (cell, id) != (frame.cell, frame.id));
+            }
+            _ => {}
+        }
     }
 }
 

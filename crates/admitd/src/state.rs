@@ -27,13 +27,14 @@
 //! exactly what `tests/determinism.rs` proves against the in-process
 //! engine.
 
+use std::path::Path;
 use std::sync::Mutex;
 
 use cellsim::{
     AdmissionDecision, AdmissionRequest, Bandwidth, BaseStation, BoxedController, CellGrid,
     SimConfig,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use telemetry::{Recorder, Registry, Stopwatch, TelemetrySnapshot};
 
 use crate::metrics::{self, SCHEMA};
@@ -280,6 +281,22 @@ impl World {
             shard.expired = expired;
 
             let station = &shard.stations[local];
+            // Idempotent replay: a client that reconnected after a lost
+            // response window resends every unacknowledged frame, so an
+            // id that is already admitted must answer Accept again
+            // without re-admitting (or panicking on the duplicate).
+            // State is untouched, so the cached batch stays valid.
+            if station.connection(request.id).is_some() {
+                out.push(Response {
+                    status: Status::Accept,
+                    id: request.id,
+                    score: 0.0,
+                });
+                shard
+                    .registry
+                    .add(metrics::response_counter(Status::Accept), 1);
+                continue;
+            }
             // Capacity screen first — the sequential engine never
             // consults the controller for a request that cannot fit,
             // and the rejection leaves state (and the cache) intact.
@@ -459,6 +476,163 @@ impl World {
         }
         let shard = self.shards[self.shard_of(cell)].lock().expect("shard lock");
         Some(shard.stations[cell - shard.base].occupied())
+    }
+
+    /// Release every `(cell, id)` a disconnected client left behind,
+    /// at each cell's current clock.  Ids that are no longer active
+    /// (already expired or explicitly released) are skipped silently.
+    /// Returns the number of connections actually freed.
+    pub fn release_abandoned(&self, connections: &[(u32, u64)]) -> u64 {
+        let mut freed = 0;
+        for &(cell, id) in connections {
+            let cell = cell as usize;
+            if cell >= self.grid.len() {
+                continue;
+            }
+            let shard = &mut *self.shards[self.shard_of(cell)].lock().expect("shard lock");
+            let local = cell - shard.base;
+            if shard.stations[local].release(id).is_ok() {
+                let Shard {
+                    controller,
+                    stations,
+                    registry,
+                    ..
+                } = shard;
+                controller.on_released(id, &stations[local]);
+                registry.add(metrics::counter::DISCONNECT_RELEASES, 1);
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Checkpoint the authoritative state: every station (active
+    /// connections included) plus the per-cell clocks, in dense cell
+    /// order.  Taken shard by shard under each shard's lock.
+    #[must_use]
+    pub fn snapshot(&self) -> WorldSnapshot {
+        let mut stations = Vec::with_capacity(self.grid.len());
+        let mut clocks = Vec::with_capacity(self.grid.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            stations.extend(shard.stations.iter().cloned());
+            clocks.extend(shard.clocks.iter().copied());
+        }
+        WorldSnapshot {
+            controller: self.controller_label.clone(),
+            cells: stations.len(),
+            stations,
+            clocks,
+        }
+    }
+
+    /// Install a checkpoint into this (freshly built) world: stations
+    /// and clocks are restored exactly, and the per-shard controllers
+    /// are re-warmed with one synthetic `on_admitted` per surviving
+    /// connection.  Kinematics (speed, heading, distance) are not part
+    /// of a checkpoint, so mobility-informed controller internals
+    /// restart cold; the counter state every shipped controller decides
+    /// against is bit-exact.  Returns the number of live connections
+    /// restored.
+    ///
+    /// # Errors
+    ///
+    /// Fails without touching state when the snapshot's cell count does
+    /// not match this world's grid.
+    pub fn restore(&self, snapshot: &WorldSnapshot) -> Result<u64, String> {
+        if snapshot.cells != self.grid.len()
+            || snapshot.stations.len() != self.grid.len()
+            || snapshot.clocks.len() != self.grid.len()
+        {
+            return Err(format!(
+                "snapshot has {} cells but this world has {}",
+                snapshot.stations.len(),
+                self.grid.len()
+            ));
+        }
+        let mut restored = 0;
+        for shard in &self.shards {
+            let shard = &mut *shard.lock().expect("shard lock");
+            let base = shard.base;
+            for local in 0..shard.stations.len() {
+                shard.stations[local] = snapshot.stations[base + local].clone();
+                shard.clocks[local] = snapshot.clocks[base + local];
+                let Shard {
+                    controller,
+                    stations,
+                    ..
+                } = shard;
+                let station = &stations[local];
+                for conn in station.connections() {
+                    controller.on_admitted(&replayed_request(conn, station), station);
+                    restored += 1;
+                }
+            }
+        }
+        Ok(restored)
+    }
+}
+
+/// A durable checkpoint of a [`World`]'s authoritative state, written
+/// by `admitd serve --snapshot` and re-installed by `--restore`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldSnapshot {
+    /// Label of the controller the world was running.
+    pub controller: String,
+    /// Number of cells (must match the restoring world's grid).
+    pub cells: usize,
+    /// Every station in dense cell order, active connections included.
+    pub stations: Vec<BaseStation>,
+    /// Per-cell logical clocks in dense cell order.
+    pub clocks: Vec<f64>,
+}
+
+/// Serialize `world` and write it to `path` atomically (temp file in
+/// the same directory, then rename), so a crash mid-write can never
+/// leave a torn checkpoint behind.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write or the rename.
+pub fn save_snapshot(world: &World, path: &Path) -> std::io::Result<()> {
+    let snapshot = world.snapshot();
+    let json = serde_json::to_string(&snapshot)
+        .map_err(|e| std::io::Error::other(format!("cannot serialize snapshot: {e}")))?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Read and parse a checkpoint written by [`save_snapshot`].
+///
+/// # Errors
+///
+/// Returns a message naming the path for unreadable files and parse
+/// failures alike.
+pub fn load_snapshot(path: &Path) -> Result<WorldSnapshot, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+    serde_json::from_str(&text)
+        .map_err(|e| format!("snapshot {} is not valid: {e}", path.display()))
+}
+
+/// The admission request re-announced to a controller for a connection
+/// restored from a checkpoint.
+fn replayed_request(
+    conn: &cellsim::station::ActiveConnection,
+    station: &BaseStation,
+) -> AdmissionRequest {
+    AdmissionRequest {
+        id: conn.id,
+        cell: station.cell(),
+        time: conn.admitted_at,
+        class: conn.class,
+        bandwidth: conn.bandwidth,
+        holding_time: conn.ends_at - conn.admitted_at,
+        speed_kmh: 0.0,
+        angle_deg: 0.0,
+        distance_m: None,
+        is_handoff: conn.was_handoff,
     }
 }
 

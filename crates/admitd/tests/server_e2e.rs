@@ -58,6 +58,7 @@ fn pipelined_replay_gets_one_response_per_frame_in_order() {
         connections: 3,
         requests_per_connection: 500,
         sim: SimConfig::paper_default(),
+        ..client::BenchConfig::default()
     };
     let report = client::run(&config).expect("bench run");
     assert_eq!(report.requests, 1500);
@@ -82,6 +83,7 @@ fn metrics_endpoint_lints_clean_and_state_reports_occupancy() {
         connections: 1,
         requests_per_connection: 200,
         sim: SimConfig::paper_default(),
+        ..client::BenchConfig::default()
     };
     client::run(&config).expect("bench run");
 

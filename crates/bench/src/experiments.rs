@@ -211,6 +211,7 @@ pub fn figure_scenario(
         station_capacity: 40,
         traffic,
         traffic_model: cellsim::TrafficModel::Poisson,
+        fault_plan: cellsim::FaultPlan::new(),
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: kinds.iter().map(ControllerKind::spec).collect(),

@@ -714,6 +714,7 @@ fn time_server_requests(connections: usize, quick: bool) -> PerfCase {
             connections,
             requests_per_connection,
             sim: SimConfig::paper_default().with_seed(0xBEEF),
+            ..BenchConfig::default()
         };
         let report = admitd::client::run(&config).expect("loopback replay");
         shutdown.store(true, std::sync::atomic::Ordering::SeqCst);

@@ -29,6 +29,9 @@
 //!   non-real-time occupancy counters (RTC / NRTC) used by FACS-P.
 //! * [`event`] — the discrete-event queue (small `Copy` events over dense
 //!   cell indices and slab handles).
+//! * [`fault`] — deterministic scheduled cell faults (outages and
+//!   capacity degradation), folded into both engines as a fourth merge
+//!   stream.
 //! * [`slab`] — generational slab storage for per-connection state.
 //! * [`sim`] — the simulation driver and the [`AdmissionController`] trait.
 //! * [`shard`] — the spatially sharded, epoch-synchronised parallel engine
@@ -45,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod event;
+pub mod fault;
 pub mod geometry;
 pub mod metrics;
 pub mod mobility;
@@ -59,6 +63,7 @@ pub mod traffic;
 pub use telemetry;
 
 pub use event::{Event, EventKind, EventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use geometry::{CellGrid, CellId, CellIdx, Point};
 pub use metrics::{ClassMetrics, Metrics, StatAccumulator, SummaryStats};
 pub use mobility::{MobilityModel, UserState};

@@ -71,13 +71,20 @@ pub struct UtilizationSample {
 }
 
 /// Aggregated metrics of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Deserialize)]
 pub struct Metrics {
     per_class: [ClassMetrics; 3],
     handoff_offered: u64,
     handoff_accepted: u64,
     handoff_failed: u64,
     utilization: Vec<UtilizationSample>,
+    /// Connections force-dropped by cell outages (a subset of the
+    /// per-class `dropped` counters).  `#[serde(default)]` so pre-fault
+    /// reports deserialise; serialised only when nonzero (see the
+    /// hand-written `Serialize` below) so fault-free reports keep their
+    /// exact pre-fault byte layout.
+    #[serde(default)]
+    dropped_by_outage: u64,
     /// Keep every `stride`-th utilisation sample (0 and 1 both mean
     /// "keep all"). Not serialised: reports carry the samples, not the
     /// sampling policy, so the JSON shape is unchanged.
@@ -99,6 +106,41 @@ impl PartialEq for Metrics {
             && self.handoff_accepted == other.handoff_accepted
             && self.handoff_failed == other.handoff_failed
             && self.utilization == other.utilization
+            && self.dropped_by_outage == other.dropped_by_outage
+    }
+}
+
+// Hand-written so `dropped_by_outage` is emitted only when nonzero:
+// every fault-free report (and thus every pre-fault golden snapshot)
+// keeps its exact byte layout.  Field order mirrors the declaration.
+impl Serialize for Metrics {
+    fn serialize_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("per_class".to_string(), self.per_class.serialize_value()),
+            (
+                "handoff_offered".to_string(),
+                self.handoff_offered.serialize_value(),
+            ),
+            (
+                "handoff_accepted".to_string(),
+                self.handoff_accepted.serialize_value(),
+            ),
+            (
+                "handoff_failed".to_string(),
+                self.handoff_failed.serialize_value(),
+            ),
+            (
+                "utilization".to_string(),
+                self.utilization.serialize_value(),
+            ),
+        ];
+        if self.dropped_by_outage > 0 {
+            fields.push((
+                "dropped_by_outage".to_string(),
+                self.dropped_by_outage.serialize_value(),
+            ));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -118,6 +160,7 @@ impl Metrics {
         self.handoff_accepted = 0;
         self.handoff_failed = 0;
         self.utilization.clear();
+        self.dropped_by_outage = 0;
         self.util_stride = 0;
         self.util_seen = 0;
     }
@@ -172,6 +215,19 @@ impl Metrics {
     /// Record the dropping of an admitted connection.
     pub fn record_dropped(&mut self, class: ServiceClass) {
         self.per_class[class.index()].dropped += 1;
+    }
+
+    /// Record that an admitted connection was force-dropped by a cell
+    /// outage.  Called *in addition to* [`Metrics::record_dropped`]:
+    /// outage drops are a cause-attributed subset of the drop totals.
+    pub fn record_dropped_by_outage(&mut self) {
+        self.dropped_by_outage += 1;
+    }
+
+    /// Connections force-dropped by cell outages.
+    #[must_use]
+    pub fn dropped_by_outage(&self) -> u64 {
+        self.dropped_by_outage
     }
 
     /// Record a base-station utilisation sample. With a configured
@@ -315,6 +371,7 @@ impl Metrics {
         self.handoff_accepted += other.handoff_accepted;
         self.handoff_failed += other.handoff_failed;
         self.utilization.extend_from_slice(&other.utilization);
+        self.dropped_by_outage += other.dropped_by_outage;
         self.util_seen += other.util_seen;
     }
 }
@@ -533,6 +590,34 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: Metrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back, a, "metrics round-trip ignores skipped fields");
+    }
+
+    #[test]
+    fn outage_drops_serialise_only_when_present() {
+        // Fault-free metrics keep the exact pre-fault JSON shape...
+        let clean = Metrics::new();
+        let json = serde_json::to_string(&clean).unwrap();
+        assert!(!json.contains("dropped_by_outage"));
+        // ...and pre-fault JSON (no key) still deserialises.
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dropped_by_outage(), 0);
+
+        let mut faulted = Metrics::new();
+        faulted.record_dropped(ServiceClass::Voice);
+        faulted.record_dropped_by_outage();
+        let json = serde_json::to_string(&faulted).unwrap();
+        assert!(json.contains("\"dropped_by_outage\":1"));
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, faulted);
+        assert_eq!(back.dropped_by_outage(), 1);
+
+        // Merge and reset cover the new counter.
+        let mut merged = Metrics::new();
+        merged.merge(&faulted);
+        merged.merge(&faulted);
+        assert_eq!(merged.dropped_by_outage(), 2);
+        merged.reset();
+        assert_eq!(merged.dropped_by_outage(), 0);
     }
 
     #[test]

@@ -44,13 +44,14 @@
 //! which admissions see which capacity, exactly like changing a seed.
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultEvent;
 use crate::geometry::{CellGrid, CellIdx};
 use crate::metrics::Metrics;
 use crate::mobility::{spawn_uniform, UserState};
 use crate::rng::SimRng;
 use crate::sim::{AdmissionController, AdmissionDecision, AdmissionRequest, SimConfig};
 use crate::slab::{Slab, SlotId};
-use crate::station::BaseStation;
+use crate::station::{ActiveConnection, BaseStation};
 use crate::telem::{self, DefaultRecorder};
 use crate::traffic::{CallRequest, ServiceClass, SpawnCellAssigner, TrafficGenerator};
 use crate::{Bandwidth, SimTime};
@@ -120,7 +121,7 @@ impl ShardConfig {
 /// equivalence tests compare serialised reports byte-for-byte across
 /// shardings.  Execution metadata that *does* vary (worker count, wall
 /// time) is deliberately excluded.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ShardReport {
     /// Name of the admission controller driving every cell.
     pub controller: String,
@@ -156,6 +157,74 @@ pub struct ShardReport {
     pub events_processed: u64,
     /// Number of epochs executed (empty stretches are skipped).
     pub epochs: u64,
+    /// Connections force-dropped by a cell outage (also counted in
+    /// `dropped`).  Serialised only when nonzero, so fault-free reports
+    /// keep their exact pre-fault byte layout.
+    #[serde(default)]
+    pub dropped_by_outage: u64,
+}
+
+// Hand-written so `dropped_by_outage` is emitted only when nonzero:
+// every fault-free report (and thus every pre-fault golden snapshot)
+// keeps its exact byte layout.  Field order mirrors the declaration.
+impl Serialize for ShardReport {
+    fn serialize_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("controller".to_string(), self.controller.serialize_value()),
+            ("offered".to_string(), self.offered.serialize_value()),
+            ("accepted".to_string(), self.accepted.serialize_value()),
+            (
+                "acceptance_percentage".to_string(),
+                self.acceptance_percentage.serialize_value(),
+            ),
+            (
+                "blocking_probability".to_string(),
+                self.blocking_probability.serialize_value(),
+            ),
+            (
+                "dropping_probability".to_string(),
+                self.dropping_probability.serialize_value(),
+            ),
+            ("completed".to_string(), self.completed.serialize_value()),
+            ("dropped".to_string(), self.dropped.serialize_value()),
+            (
+                "handoffs_offered".to_string(),
+                self.handoffs_offered.serialize_value(),
+            ),
+            (
+                "handoffs_accepted".to_string(),
+                self.handoffs_accepted.serialize_value(),
+            ),
+            (
+                "handoffs_failed".to_string(),
+                self.handoffs_failed.serialize_value(),
+            ),
+            (
+                "mean_utilization".to_string(),
+                self.mean_utilization.serialize_value(),
+            ),
+            (
+                "utilization_samples".to_string(),
+                self.utilization_samples.serialize_value(),
+            ),
+            (
+                "peak_concurrent_users".to_string(),
+                self.peak_concurrent_users.serialize_value(),
+            ),
+            (
+                "events_processed".to_string(),
+                self.events_processed.serialize_value(),
+            ),
+            ("epochs".to_string(), self.epochs.serialize_value()),
+        ];
+        if self.dropped_by_outage > 0 {
+            fields.push((
+                "dropped_by_outage".to_string(),
+                self.dropped_by_outage.serialize_value(),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Ordering key of the epoch-boundary merge queue.
@@ -183,6 +252,11 @@ pub const RANK_RELEASE: u8 = 0;
 pub const RANK_ADMIT: u8 = 1;
 /// [`MergeKey::rank`] of a cascaded handoff discovered during the merge.
 pub const RANK_HANDOFF: u8 = 2;
+/// [`MergeKey::rank`] of a scheduled [`crate::fault::FaultEvent`].  Faults
+/// carry a synthetic connection id in a reserved range (see
+/// [`crate::fault::FaultEvent::merge_key`]), so the rank only matters for
+/// documenting their position in the total order.
+pub const RANK_FAULT: u8 = 3;
 
 impl MergeKey {
     /// Build a key.
@@ -309,6 +383,15 @@ struct Shard<R: Recorder> {
     clock: SimTime,
     events_processed: u64,
     outbox: Vec<AdmitMsg>,
+    /// Nominal (configured) per-station capacity fault transitions are
+    /// computed against.
+    nominal_capacity: Bandwidth,
+    /// This shard's slice of the fault plan, time-sorted (the fourth
+    /// event stream).
+    faults: Vec<FaultEvent>,
+    next_fault: usize,
+    /// Scratch buffer for outage force-drops (reused across faults).
+    dropped_scratch: Vec<ActiveConnection>,
     rng: SimRng,
     /// Wall time of this shard's last epoch loop (0 with the no-op
     /// recorder — the disabled build makes no clock syscalls).
@@ -342,6 +425,10 @@ impl<R: Recorder> Shard<R> {
             clock: 0.0,
             events_processed: 0,
             outbox: Vec::new(),
+            nominal_capacity: config.station_capacity,
+            faults: Vec::new(),
+            next_fault: 0,
+            dropped_scratch: Vec::new(),
             rng: SimRng::new(config.seed).derive(0xD15C),
             last_epoch_ns: 0,
             recorder: R::for_schema(&telem::SCHEMA),
@@ -368,6 +455,10 @@ impl<R: Recorder> Shard<R> {
         self.clock = 0.0;
         self.events_processed = 0;
         self.outbox.clear();
+        self.nominal_capacity = config.station_capacity;
+        self.faults.clear();
+        self.next_fault = 0;
+        self.dropped_scratch.clear();
         self.rng = SimRng::new(config.seed).derive(0xD15C);
         self.last_epoch_ns = 0;
     }
@@ -377,6 +468,9 @@ impl<R: Recorder> Shard<R> {
     fn next_event_time(&self, calls: &[CallRequest], horizon: SimTime) -> Option<SimTime> {
         let mut min: Option<SimTime> = None;
         let mut consider = |t: SimTime| min = Some(min.map_or(t, |m: SimTime| m.min(t)));
+        if let Some(fault) = self.faults.get(self.next_fault) {
+            consider(fault.time);
+        }
         if let Some(&i) = self.arrivals.get(self.next_arrival) {
             consider(calls[i as usize].arrival_time);
         }
@@ -406,6 +500,7 @@ impl<R: Recorder> Shard<R> {
     ) {
         let watch = Stopwatch::started(R::ENABLED);
         loop {
+            let fault_time = self.faults.get(self.next_fault).map(|f| f.time);
             let arrival_time = self
                 .arrivals
                 .get(self.next_arrival)
@@ -418,6 +513,31 @@ impl<R: Recorder> Shard<R> {
             };
             let queued_time = self.queue.peek().map(|e| e.time);
 
+            // Fourth stream: scheduled faults fire before any same-time
+            // traffic (tie order fault < arrival < tick < heap), so an
+            // arrival at the exact outage instant already sees the dark
+            // cell.
+            let fire_fault = match fault_time {
+                Some(f) => {
+                    arrival_time.is_none_or(|a| f <= a)
+                        && tick_time.is_none_or(|t| f <= t)
+                        && queued_time.is_none_or(|q| f <= q)
+                }
+                None => false,
+            };
+            if fire_fault {
+                let time = fault_time.expect("checked above");
+                if time >= epoch_end {
+                    break;
+                }
+                self.clock = time;
+                self.events_processed += 1;
+                self.recorder.add(telem::counter::EVENT_FAULT, 1);
+                let fault = self.faults[self.next_fault];
+                self.next_fault += 1;
+                self.apply_fault(&fault);
+                continue;
+            }
             let fire_arrival = match (arrival_time, tick_time, queued_time) {
                 (Some(a), t, q) => t.is_none_or(|t| a <= t) && q.is_none_or(|q| a <= q),
                 _ => false,
@@ -501,6 +621,31 @@ impl<R: Recorder> Shard<R> {
 
     fn local(&self, cell: u32) -> usize {
         (cell - self.start) as usize
+    }
+
+    /// Apply one fault to its cell: adjust capacity, and on an outage
+    /// force-drop every active connection (counted per class and in the
+    /// outage-drop total) in the station's dense connection order —
+    /// which is a pure function of the cell's event history, hence
+    /// shard-invariant.  The dropped calls' queued departure/handoff
+    /// events become stale and fall through the `Err` no-op paths; their
+    /// slab slots are deliberately leaked until the end of the run.
+    fn apply_fault(&mut self, fault: &FaultEvent) {
+        let local = self.local(fault.cell);
+        self.stations[local].set_capacity(fault.kind.capacity(self.nominal_capacity));
+        if fault.kind.drops_connections() {
+            let mut dropped = std::mem::take(&mut self.dropped_scratch);
+            self.stations[local].drop_all_into(&mut dropped);
+            for conn in &dropped {
+                self.metrics.record_dropped(conn.class);
+                self.metrics.record_dropped_by_outage();
+                if R::ENABLED {
+                    self.recorder.add(telem::counter::OUTAGE_DROPPED, 1);
+                }
+                self.controllers[local].on_released(conn.id, &self.stations[local]);
+            }
+            self.dropped_scratch = dropped;
+        }
     }
 
     /// Mirror of `Simulator::handle_arrival` over shard-local state.
@@ -893,6 +1038,14 @@ impl<R: Recorder> ShardedSimulator<R> {
             let s = self.shard_of(cell);
             self.shards[s].arrivals.push(i as u32);
         }
+        // Partition the fault plan to its owning shards in sorted order;
+        // events naming cells outside the grid are ignored.
+        for fault in self.config.fault_plan.sorted_events() {
+            if (fault.cell as usize) < self.grid.len() {
+                let s = self.shard_of(fault.cell);
+                self.shards[s].faults.push(fault);
+            }
+        }
         let horizon = arrivals.last().map(|c| c.arrival_time).unwrap_or(0.0);
         self.arrivals = arrivals;
 
@@ -1234,6 +1387,7 @@ impl<R: Recorder> ShardedSimulator<R> {
             peak_concurrent_users: self.peak_concurrent,
             events_processed: self.events_processed(),
             epochs: self.epochs,
+            dropped_by_outage: merged.dropped_by_outage(),
         }
     }
 }

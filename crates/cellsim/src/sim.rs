@@ -13,6 +13,7 @@
 //!   grid (used by the examples that go beyond the paper's single cell).
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::geometry::{CellGrid, CellId, CellIdx};
 use crate::metrics::Metrics;
 use crate::mobility::{spawn_uniform, MobilityModel, UserState};
@@ -263,6 +264,14 @@ pub struct SimConfig {
     /// serialized configs from before the field existed).
     #[serde(default)]
     pub traffic_model: TrafficModel,
+    /// Scheduled cell faults — outages and capacity degradation — applied
+    /// during [`Simulator::run_poisson`] runs (defaults to no faults;
+    /// absent in serialized configs from before the field existed).
+    /// [`Simulator::run_batch`] ignores the plan: the batch workload
+    /// offers everything at time 0 against one station, so there is no
+    /// timeline for faults to act on.
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
     /// Mobility model used for admitted users in multi-cell runs.
     pub mobility: MobilityModel,
     /// RNG seed.
@@ -286,6 +295,7 @@ impl SimConfig {
             station_capacity: 40,
             traffic: TrafficConfig::paper_default(),
             traffic_model: TrafficModel::Poisson,
+            fault_plan: FaultPlan::new(),
             mobility: MobilityModel::paper_default(),
             seed: 0xFAC5,
             utilization_sample_interval_s: 0.0,
@@ -311,6 +321,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_traffic_model(mut self, model: TrafficModel) -> Self {
         self.traffic_model = model;
+        self
+    }
+
+    /// Schedule cell faults for the run (see [`FaultPlan`]).
+    #[must_use]
+    pub fn with_fault_plan(mut self, fault_plan: FaultPlan) -> Self {
+        self.fault_plan = fault_plan;
         self
     }
 
@@ -437,6 +454,14 @@ pub struct Simulator<R: Recorder = DefaultRecorder> {
     arrivals: Vec<CallRequest>,
     /// Reused scratch for expired-connection batches.
     expired: Vec<ActiveConnection>,
+    /// Scheduled faults for the current `run_poisson` run, time-sorted
+    /// (the fourth merge stream; armed from `config.fault_plan` at run
+    /// start, cells outside the grid dropped).
+    faults: Vec<FaultEvent>,
+    /// Cursor into `faults`.
+    next_fault: usize,
+    /// Reused scratch for outage-dropped connection batches.
+    outage_dropped: Vec<ActiveConnection>,
     /// Telemetry sink (observation-only; accumulates across runs and
     /// [`Simulator::reset`]s until [`Simulator::reset_telemetry`]).
     recorder: R,
@@ -475,6 +500,9 @@ impl<R: Recorder> Simulator<R> {
             events_processed: 0,
             arrivals: Vec::new(),
             expired: Vec::new(),
+            faults: Vec::new(),
+            next_fault: 0,
+            outage_dropped: Vec::new(),
             recorder: R::for_schema(&telem::SCHEMA),
             config,
         }
@@ -518,6 +546,9 @@ impl<R: Recorder> Simulator<R> {
         self.clock = 0.0;
         self.rng = SimRng::new(config.seed).derive(0xD15C);
         self.events_processed = 0;
+        self.faults.clear();
+        self.next_fault = 0;
+        self.outage_dropped.clear();
         self.config = config;
     }
 
@@ -709,11 +740,13 @@ impl<R: Recorder> Simulator<R> {
     /// reused buffer and consumed as a stream, mobility ticks are computed
     /// on the fly, and only the *run-time* events — departures and
     /// handoffs — live in the heap, which therefore stays at the size of
-    /// the concurrent-call population instead of the whole workload.  The
-    /// three streams are merged in exactly the order the one-big-heap
-    /// engine produced (arrivals before ticks before run-time events on
-    /// time ties, matching its sequence numbering), so results are
-    /// bit-identical; after warm-up the loop is allocation-free.  Like
+    /// the concurrent-call population instead of the whole workload.
+    /// Scheduled faults from [`SimConfig::fault_plan`] form a fourth
+    /// stream consumed the same way.  The streams are merged in exactly
+    /// the order the one-big-heap engine produced (faults before
+    /// arrivals before ticks before run-time events on time ties,
+    /// matching its sequence numbering), so results are bit-identical;
+    /// after warm-up the loop is allocation-free.  Like
     /// [`Simulator::run_batch`], the returned report takes the metrics
     /// accumulated since the last report.
     pub fn run_poisson<C: AdmissionController + ?Sized>(
@@ -732,6 +765,22 @@ impl<R: Recorder> Simulator<R> {
         let mut spawn_rng = self.rng.derive(3);
         let mut spawn_cells = SpawnCellAssigner::new(&self.config.traffic_model);
 
+        // Fault stream: scheduled capacity changes from the config's
+        // [`FaultPlan`], time-sorted, cells outside the grid dropped.
+        // Faults are pure config data — arming them touches no RNG
+        // stream, so a fault-free plan leaves the run bit-identical to
+        // builds that predate the field.
+        self.faults.clear();
+        self.next_fault = 0;
+        let cells = self.grid.len();
+        self.faults.extend(
+            self.config
+                .fault_plan
+                .sorted_events()
+                .into_iter()
+                .filter(|f| (f.cell as usize) < cells),
+        );
+
         let origin = self
             .grid
             .index_of(&CellId::origin())
@@ -747,10 +796,15 @@ impl<R: Recorder> Simulator<R> {
 
         let mut next_arrival = 0usize;
         loop {
-            // Earliest of the three streams; on exact time ties arrivals
-            // fire before ticks and ticks before run-time events —
-            // mirroring the sequence numbers the one-heap engine assigned
-            // (all arrivals first, then all ticks, then run-time events).
+            // Earliest of the four streams; on exact time ties faults fire
+            // before arrivals, arrivals before ticks and ticks before
+            // run-time events — mirroring the sequence numbers the
+            // one-heap engine assigned (all arrivals first, then all
+            // ticks, then run-time events; faults are infrastructure
+            // changes that take effect before same-instant traffic, the
+            // [`crate::shard::RANK_FAULT`] ordering of the sharded
+            // engine).
+            let fault_time = self.faults.get(self.next_fault).map(|f| f.time);
             let arrival_time = arrivals.get(next_arrival).map(|c| c.arrival_time);
             let tick_time = if ticks_pending && next_tick <= horizon {
                 Some(next_tick)
@@ -760,6 +814,24 @@ impl<R: Recorder> Simulator<R> {
             };
             let queued_time = self.queue.peek().map(|e| e.time);
 
+            let fire_fault = match fault_time {
+                Some(f) => {
+                    arrival_time.is_none_or(|a| f <= a)
+                        && tick_time.is_none_or(|t| f <= t)
+                        && queued_time.is_none_or(|q| f <= q)
+                }
+                None => false,
+            };
+            if fire_fault {
+                let time = fault_time.expect("checked above");
+                self.clock = time;
+                self.events_processed += 1;
+                self.recorder.add(telem::counter::EVENT_FAULT, 1);
+                let fault = self.faults[self.next_fault];
+                self.next_fault += 1;
+                self.apply_fault(controller, &fault);
+                continue;
+            }
             let fire_arrival = match (arrival_time, tick_time, queued_time) {
                 (Some(a), t, q) => t.is_none_or(|t| a <= t) && q.is_none_or(|q| a <= q),
                 _ => false,
@@ -901,6 +973,39 @@ impl<R: Recorder> Simulator<R> {
                     1,
                 );
             }
+        }
+    }
+
+    /// Apply one scheduled fault: retune the cell's capacity and, for
+    /// outages, force-drop every active connection (counted both in the
+    /// per-class `dropped` counters and in
+    /// [`Metrics::dropped_by_outage`]). Mirrors `Shard::apply_fault` in
+    /// the sharded engine exactly, so single-cell faulted runs stay
+    /// bit-identical between the two engines.
+    fn apply_fault<C: AdmissionController + ?Sized>(
+        &mut self,
+        controller: &mut C,
+        fault: &FaultEvent,
+    ) {
+        let cell = fault.cell as usize;
+        self.stations[cell].set_capacity(fault.kind.capacity(self.config.station_capacity));
+        if fault.kind.drops_connections() {
+            let mut dropped = std::mem::take(&mut self.outage_dropped);
+            self.stations[cell].drop_all_into(&mut dropped);
+            for conn in &dropped {
+                self.metrics.record_dropped(conn.class);
+                self.metrics.record_dropped_by_outage();
+                if R::ENABLED {
+                    self.recorder.add(telem::counter::OUTAGE_DROPPED, 1);
+                }
+                controller.on_released(conn.id, &self.stations[cell]);
+            }
+            self.outage_dropped = dropped;
+            // The dropped users' slab slots are deliberately leaked for
+            // the rest of the run: their stale Departure/Handoff events
+            // still in the heap miss at the station (the connection is
+            // gone) and become no-ops, exactly like post-handoff stale
+            // departures, so nothing ever resolves the slots again.
         }
     }
 
@@ -1432,6 +1537,77 @@ mod tests {
         );
         sim.reset(cfg);
         assert_eq!(sim.events_processed(), 0, "reset restarts the counter");
+    }
+
+    #[test]
+    fn outage_drops_active_calls_and_blocks_new_ones() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut cfg = SimConfig::paper_default().with_seed(21);
+        cfg.traffic.mean_interarrival_s = 2.0;
+        cfg.traffic.mean_holding_s = 120.0;
+        // One outage mid-run, never recovered: the cell stays dark.
+        cfg.fault_plan = FaultPlan::new().with_event(100.0, 0, FaultKind::Outage);
+        let mut sim = Simulator::new(cfg);
+        let mut controller = AlwaysAccept;
+        let report = sim.run_poisson(&mut controller, 200);
+        let dropped = report.metrics.dropped_by_outage();
+        assert!(dropped > 0, "outage at t=100 must cut active calls");
+        // Outage drops land in the per-class dropped counters too.
+        assert!(report.metrics.dropped() >= dropped);
+        // Post-outage the station has zero capacity: nothing occupied,
+        // and every arrival after t=100 was blocked.
+        let station = sim.station(&CellId::origin()).unwrap();
+        assert_eq!(station.capacity(), 0);
+        assert_eq!(station.occupied(), 0);
+        assert!(report.accepted < report.offered);
+    }
+
+    #[test]
+    fn recovery_restores_capacity_and_admissions() {
+        use crate::fault::FaultPlan;
+        let mut cfg = SimConfig::paper_default().with_seed(22);
+        cfg.traffic.mean_interarrival_s = 5.0;
+        cfg.traffic.mean_holding_s = 60.0;
+        cfg.fault_plan = FaultPlan::new().with_outage(0, 200.0, 100.0);
+        let mut sim = Simulator::new(cfg);
+        let mut controller = AlwaysAccept;
+        let report = sim.run_poisson(&mut controller, 300);
+        assert!(report.metrics.dropped_by_outage() > 0);
+        let station = sim.station(&CellId::origin()).unwrap();
+        assert_eq!(station.capacity(), 40, "recovery returns to nominal");
+        // Calls admitted after the recovery completed normally.
+        assert!(report.metrics.completed() > 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_the_pre_fault_engine() {
+        use crate::fault::FaultPlan;
+        let mut base = SimConfig::paper_default().with_seed(23).with_grid_radius(1);
+        base.cell_radius_m = 300.0;
+        base.traffic.mean_interarrival_s = 3.0;
+        base.traffic.mean_holding_s = 300.0;
+        base.utilization_sample_interval_s = 40.0;
+        let with_plan = base.clone().with_fault_plan(FaultPlan::new());
+        let mut a = AlwaysAccept;
+        let ra = Simulator::new(base).run_poisson(&mut a, 200);
+        let mut b = AlwaysAccept;
+        let rb = Simulator::new(with_plan).run_poisson(&mut b, 200);
+        assert_eq!(ra, rb);
+        assert_eq!(ra.metrics.dropped_by_outage(), 0);
+    }
+
+    #[test]
+    fn faults_outside_the_grid_are_ignored() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let base = SimConfig::paper_default().with_seed(24);
+        let ghost =
+            base.clone()
+                .with_fault_plan(FaultPlan::new().with_event(50.0, 99, FaultKind::Outage));
+        let mut a = AlwaysAccept;
+        let ra = Simulator::new(base).run_poisson(&mut a, 100);
+        let mut b = AlwaysAccept;
+        let rb = Simulator::new(ghost).run_poisson(&mut b, 100);
+        assert_eq!(ra, rb, "out-of-grid faults must be no-ops");
     }
 
     #[test]

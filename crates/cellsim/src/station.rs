@@ -177,6 +177,37 @@ impl BaseStation {
         Self::new(CellId::origin(), Point::new(0.0, 0.0), 40)
     }
 
+    /// Change the station's capacity in place (a fault transition:
+    /// outage, degradation or recovery).  Active connections are kept
+    /// even if the new capacity leaves the station over-occupied —
+    /// [`BaseStation::available`] saturates at zero, so the station
+    /// simply refuses new admissions until enough calls complete.  Use
+    /// [`BaseStation::drop_all_into`] for transitions that evict.
+    pub fn set_capacity(&mut self, capacity: Bandwidth) {
+        self.capacity = capacity;
+        if !self.uses_index() {
+            // Dropping below the index threshold invalidates the index
+            // wholesale; clearing it now keeps the synced-length
+            // invariant simple for the scan path.
+            self.index.clear();
+        }
+    }
+
+    /// Force-drop every active connection into `out` (cleared first), in
+    /// the dense vector order — deterministic given the station's
+    /// operation history.  Each drop is counted in
+    /// [`BaseStation::total_dropped`] and all occupancy counters return
+    /// to zero.  This is the outage path: the calls did not complete and
+    /// did not hand off, they were cut.
+    pub fn drop_all_into(&mut self, out: &mut Vec<ActiveConnection>) {
+        out.clear();
+        self.total_dropped += self.connections.len() as u64;
+        out.append(&mut self.connections);
+        self.rtc = 0;
+        self.nrtc = 0;
+        self.index.clear();
+    }
+
     /// The cell this station serves.
     #[must_use]
     pub fn cell(&self) -> CellId {
@@ -728,6 +759,68 @@ mod tests {
         s.admit(3, ServiceClass::Text, 1, 0.0, 100.0, false)
             .unwrap();
         assert_eq!(s.index.len(), 1, "above threshold: index resumes");
+    }
+
+    #[test]
+    fn set_capacity_keeps_connections_and_saturates_availability() {
+        let mut s = station();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 60.0, false)
+            .unwrap();
+        s.admit(2, ServiceClass::Voice, 5, 0.0, 60.0, false)
+            .unwrap();
+        s.set_capacity(8);
+        assert_eq!(s.capacity(), 8);
+        assert_eq!(s.occupied(), 15, "existing calls survive a degrade");
+        assert_eq!(s.available(), 0, "over-occupied saturates, never wraps");
+        assert!(!s.can_fit(1));
+        assert_eq!(s.utilization(), 15.0 / 8.0);
+        s.release(1).unwrap();
+        s.release(2).unwrap();
+        s.set_capacity(40);
+        assert!(s.can_fit(40));
+    }
+
+    #[test]
+    fn drop_all_into_cuts_every_call_and_counts_drops() {
+        let mut s = station();
+        s.admit(1, ServiceClass::Video, 10, 0.0, 60.0, false)
+            .unwrap();
+        s.admit(2, ServiceClass::Text, 1, 0.0, 60.0, false).unwrap();
+        s.admit(3, ServiceClass::Voice, 5, 0.0, 60.0, true).unwrap();
+        let mut out = Vec::new();
+        s.drop_all_into(&mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.iter().map(|c| c.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(s.active_connections(), 0);
+        assert_eq!(s.occupied(), 0);
+        assert_eq!(s.rtc(), 0);
+        assert_eq!(s.nrtc(), 0);
+        assert_eq!(s.total_dropped(), 3);
+        assert_eq!(
+            s.release(1).unwrap_err(),
+            StationError::UnknownConnection { id: 1 },
+            "stale departures become clean no-ops"
+        );
+        // The station admits again normally after a recovery.
+        s.admit(4, ServiceClass::Text, 1, 1.0, 10.0, false).unwrap();
+        assert_eq!(s.occupied(), 1);
+    }
+
+    #[test]
+    fn set_capacity_across_the_index_threshold_self_heals() {
+        let mut s = BaseStation::new(CellId::origin(), Point::default(), 10_000);
+        for id in 0..20u64 {
+            s.admit(id, ServiceClass::Voice, 5, 0.0, 100.0, false)
+                .unwrap();
+        }
+        assert_eq!(s.index.len(), 20);
+        s.set_capacity(0);
+        assert!(s.index.is_empty(), "below threshold: index cleared");
+        assert!(s.connection(7).is_some(), "scan path still works");
+        s.set_capacity(10_000);
+        // Index rebuilds lazily on the next mutation.
+        s.release(7).unwrap();
+        assert_eq!(s.index.len(), s.connections.len());
     }
 
     #[test]

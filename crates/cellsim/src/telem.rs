@@ -56,6 +56,11 @@ pub mod counter {
     pub const MERGE_RELEASE: CounterId = CounterId(17);
     /// Cross-shard handoff merge tasks replayed.
     pub const MERGE_HANDOFF: CounterId = CounterId(18);
+    /// Scheduled fault events applied (outage / recovery / degrade /
+    /// restore).
+    pub const EVENT_FAULT: CounterId = CounterId(19);
+    /// Active connections force-dropped by cell outages.
+    pub const OUTAGE_DROPPED: CounterId = CounterId(20);
 }
 
 /// Histogram ids into [`SCHEMA`].
@@ -171,6 +176,16 @@ pub static SCHEMA: Schema = Schema {
             name: "shard_merge_tasks_total",
             help: "Cross-shard merge tasks replayed at epoch barriers, by kind",
             labels: &[("kind", "handoff")],
+        },
+        MetricDef {
+            name: "sim_events_total",
+            help: "Events processed by the run_poisson loop, by kind",
+            labels: &[("kind", "fault")],
+        },
+        MetricDef {
+            name: "sim_outage_dropped_total",
+            help: "Active connections force-dropped by cell outages",
+            labels: &[],
         },
     ],
     histograms: &[

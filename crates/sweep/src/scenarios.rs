@@ -11,7 +11,7 @@ use crate::spec::{ControllerSpec, LoadMode, ScenarioSpec};
 use cellsim::traffic::{
     GroupConfig, MmppConfig, TraceConfig, TrafficConfig, TrafficMix, TrafficModel,
 };
-use cellsim::MobilityModel;
+use cellsim::{FaultPlan, MobilityModel};
 
 /// Names of all built-in scenarios, in presentation order.
 #[must_use]
@@ -26,6 +26,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "burst-mmpp",
         "burst-trace",
         "burst-groups",
+        "outage-wave",
     ]
 }
 
@@ -42,6 +43,7 @@ pub fn builtin(name: &str) -> Option<ScenarioSpec> {
         "burst-mmpp" => Some(burst_mmpp()),
         "burst-trace" => Some(burst_trace()),
         "burst-groups" => Some(burst_groups()),
+        "outage-wave" => Some(outage_wave()),
         _ => None,
     }
 }
@@ -73,6 +75,7 @@ fn paper_default() -> ScenarioSpec {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Poisson,
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![
@@ -109,6 +112,7 @@ fn highway_handoff() -> ScenarioSpec {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Poisson,
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::ConstantVelocity,
         utilization_sample_interval_s: 60.0,
         controllers: vec![
@@ -144,6 +148,7 @@ fn downtown_hotspot() -> ScenarioSpec {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Poisson,
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::RandomDirection { max_turn_deg: 60.0 },
         utilization_sample_interval_s: 60.0,
         controllers: vec![
@@ -177,6 +182,7 @@ fn flash_crowd() -> ScenarioSpec {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Poisson,
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![
@@ -213,6 +219,7 @@ fn mixed_multimedia() -> ScenarioSpec {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Poisson,
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![
@@ -263,6 +270,7 @@ fn metro() -> ScenarioSpec {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Poisson,
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::ConstantVelocity,
         utilization_sample_interval_s: 60.0,
         controllers: vec![
@@ -336,6 +344,7 @@ fn burst_trace() -> ScenarioSpec {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Trace(trace),
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![
@@ -364,6 +373,34 @@ fn burst_groups() -> ScenarioSpec {
             .to_string(),
         traffic_model: TrafficModel::Groups(GroupConfig::new(5, 15)),
         base_seed: 0x6B05,
+        ..highway_handoff()
+    }
+}
+
+/// The highway-handoff network hit by a rolling wave of cell outages plus
+/// a degraded neighbour: cells 0–4 (the origin and its first ring) go dark
+/// one after another for 90 s each, staggered a minute apart, while cell 5
+/// runs at half capacity for the whole wave.  Every active call in a dark
+/// cell is force-dropped and its traffic spills onto the survivors, so the
+/// scenario measures how gracefully each controller sheds and re-absorbs
+/// load ([`examples/outage_study.rs`]) — and, because faults stress every
+/// engine stream at once, it is also the fault plan
+/// `tests/golden_sharded.rs` and `tests/fault_determinism.rs` pin
+/// solo-vs-sharded.
+///
+/// The wave finishes by t = 450 s, inside the horizon of even the lowest
+/// load point (500 arrivals at 1 s mean spacing), so every sweep cell
+/// experiences the full fault schedule.
+fn outage_wave() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "outage-wave".to_string(),
+        description: "19-cell highway network under a rolling 5-cell outage wave \
+                      with a half-capacity degraded neighbour"
+            .to_string(),
+        fault_plan: FaultPlan::new()
+            .with_outage_wave(0, 5, 120.0, 90.0, 60.0)
+            .with_degrade(5, 120.0, 330.0, 0.5),
+        base_seed: 0xFA17,
         ..highway_handoff()
     }
 }
@@ -421,6 +458,29 @@ mod tests {
             "top load point must saturate the metro"
         );
         spec.validate().unwrap();
+    }
+
+    #[test]
+    fn outage_wave_fits_inside_the_lowest_load_horizon() {
+        let spec = builtin("outage-wave").unwrap();
+        assert!(!spec.fault_plan.is_empty());
+        spec.fault_plan.validate().unwrap();
+        let cells = 3 * spec.grid_radius_cells * (spec.grid_radius_cells + 1) + 1;
+        let last_event = spec
+            .fault_plan
+            .sorted_events()
+            .last()
+            .map(|e| e.time)
+            .unwrap();
+        // Lowest load point at the configured mean inter-arrival time.
+        let horizon = *spec.load_points.first().unwrap() as f64 * spec.traffic.mean_interarrival_s;
+        assert!(
+            last_event <= horizon,
+            "wave must finish (t={last_event}) inside the horizon (~{horizon}s)"
+        );
+        for event in &spec.fault_plan.events {
+            assert!(event.cell < cells, "faults target real cells");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use cellsim::shard::BoxedController;
 use cellsim::sim::{AlwaysAccept, CapacityThreshold, SimConfig};
 use cellsim::traffic::{TrafficConfig, TrafficModel};
-use cellsim::{Bandwidth, MobilityModel};
+use cellsim::{Bandwidth, FaultPlan, MobilityModel};
 use facs::{FacsController, FacsPController};
 use scc::SccAdmission;
 use serde::{Deserialize, Serialize};
@@ -171,6 +171,14 @@ pub struct ScenarioSpec {
     /// ```
     #[serde(default)]
     pub traffic_model: TrafficModel,
+    /// Scheduled cell faults — outages and capacity degradation —
+    /// applied identically to every `(controller, load, replication)`
+    /// cell of the sweep, so robustness comparisons are paired exactly
+    /// like the load comparisons.  Absent in spec JSON means no faults,
+    /// so every spec written before the field existed parses to the
+    /// exact same experiment.
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
     /// Mobility model for admitted users in multi-cell runs.
     pub mobility: MobilityModel,
     /// Interval between utilisation samples (seconds); 0 disables sampling.
@@ -272,6 +280,7 @@ impl ScenarioSpec {
             .with_capacity(self.station_capacity)
             .with_traffic(traffic)
             .with_traffic_model(self.traffic_model.clone())
+            .with_fault_plan(self.fault_plan.clone())
             .with_mobility(self.mobility.clone())
             .with_utilization_sampling(self.utilization_sample_interval_s)
             .with_seed(self.seed_for(controller, load_index, replication))
@@ -305,6 +314,7 @@ impl ScenarioSpec {
             }
         }
         self.traffic_model.validate().map_err(SpecError::Invalid)?;
+        self.fault_plan.validate().map_err(SpecError::Invalid)?;
         Ok(())
     }
 
@@ -534,6 +544,38 @@ mod tests {
             let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
             assert_eq!(back, spec, "{name} must round-trip");
         }
+    }
+
+    #[test]
+    fn fault_plan_is_optional_and_validated() {
+        use cellsim::fault::FaultKind;
+        // Pre-fault spec JSON (no `fault_plan` key) parses to no faults.
+        let spec = builtin("paper-default").unwrap();
+        assert!(spec.fault_plan.is_empty());
+        let serde::Value::Object(mut fields) =
+            serde_json::from_str::<serde::Value>(&spec.to_json()).unwrap()
+        else {
+            panic!("spec JSON is an object");
+        };
+        fields.retain(|(key, _)| key != "fault_plan");
+        let stripped = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        assert_eq!(ScenarioSpec::from_json(&stripped).unwrap(), spec);
+        // A plan rides through sim_config into every sweep cell.
+        let mut faulted = builtin("highway-handoff").unwrap();
+        faulted.fault_plan = FaultPlan::new().with_outage(3, 100.0, 50.0);
+        let cfg = faulted.sim_config(&ControllerSpec::Facs, 0, 0);
+        assert_eq!(cfg.fault_plan, faulted.fault_plan);
+        let back = ScenarioSpec::from_json(&faulted.to_json()).unwrap();
+        assert_eq!(back, faulted);
+        // Invalid plans are rejected like any other bad spec field.
+        faulted.fault_plan = FaultPlan::new().with_event(
+            10.0,
+            0,
+            FaultKind::Degrade {
+                capacity_fraction: 2.0,
+            },
+        );
+        assert!(matches!(faulted.validate(), Err(SpecError::Invalid(_))));
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Poisson,
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![

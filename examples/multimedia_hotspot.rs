@@ -32,6 +32,7 @@ fn hotspot_spec(video_share: f64) -> ScenarioSpec {
             ..TrafficConfig::paper_default()
         },
         traffic_model: TrafficModel::Poisson,
+        fault_plan: FaultPlan::new(),
         mobility: MobilityModel::paper_default(),
         utilization_sample_interval_s: 0.0,
         controllers: vec![ControllerSpec::FacsP],

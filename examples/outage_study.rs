@@ -1,0 +1,133 @@
+//! Robustness study: how do FACS / FACS-P / SCC degrade when cells fail?
+//!
+//! ```text
+//! cargo run --release --example outage_study
+//! ```
+//!
+//! The paper evaluates its controllers on a healthy network only.  This
+//! example re-runs the 19-cell `highway-handoff` evaluation against the
+//! `outage-wave` fault plan — a rolling wave of full cell outages across
+//! the origin and its first ring plus a half-capacity degraded neighbour
+//! (see `docs/FAULTS.md`) — and prints the acceptance and dropping curves
+//! side by side.
+//!
+//! To make the comparison paired, the faulted sweep is run with the
+//! healthy scenario's base seed: the seed derivation depends only on
+//! `(base_seed, controller, load, replication)`, so both sweeps offer
+//! bit-identical arrival sequences and every difference in the tables is
+//! attributable to the fault plan alone.
+
+use facs_suite::prelude::*;
+
+/// Run one scenario and return its report.
+fn run(spec: &ScenarioSpec) -> RunReport {
+    eprintln!(
+        "running {}: {} controllers x {} loads x {} reps ...",
+        spec.name,
+        spec.controllers.len(),
+        spec.load_points.len(),
+        spec.replications
+    );
+    SweepRunner::new().run(spec).expect("specs are valid")
+}
+
+fn curve<'a>(report: &'a RunReport, label: &str) -> &'a CurveReport {
+    report
+        .curves
+        .iter()
+        .find(|c| c.controller == label)
+        .expect("controller is part of the scenario")
+}
+
+const CONTROLLERS: [&str; 3] = ["FACS-P", "FACS", "SCC"];
+
+/// Print one metric (acceptance or dropping) for the shared trio, healthy
+/// and faulted side by side.
+fn print_table(
+    healthy: &RunReport,
+    faulted: &RunReport,
+    title: &str,
+    metric: impl Fn(&PointReport) -> f64,
+) {
+    println!("\n== {title}: healthy vs outage wave ==");
+    print!("{:>10}", "requests");
+    for c in CONTROLLERS {
+        print!("  {c:>7} {:>8}", "+faults");
+    }
+    println!();
+    for (i, load) in healthy.load_points.iter().enumerate() {
+        print!("{load:>10}");
+        for c in CONTROLLERS {
+            print!(
+                "  {:>7.1} {:>8.1}",
+                metric(&curve(healthy, c).points[i]),
+                metric(&curve(faulted, c).points[i])
+            );
+        }
+        println!();
+    }
+}
+
+/// Mean of a per-point metric over the whole load axis.
+fn mean_over_loads(
+    report: &RunReport,
+    controller: &str,
+    metric: impl Fn(&PointReport) -> f64,
+) -> f64 {
+    let c = curve(report, controller);
+    c.points.iter().map(&metric).sum::<f64>() / c.points.len() as f64
+}
+
+fn main() {
+    let healthy = builtin("highway-handoff").expect("built-in");
+    // Same base seed => same arrival sequences; the fault plan is the only
+    // difference between the two sweeps.
+    let faulted = builtin("outage-wave")
+        .expect("built-in")
+        .with_base_seed(healthy.base_seed);
+
+    let healthy_report = run(&healthy);
+    let faulted_report = run(&faulted);
+
+    print_table(&healthy_report, &faulted_report, "acceptance %", |p| {
+        p.acceptance.mean
+    });
+    print_table(&healthy_report, &faulted_report, "dropping %", |p| {
+        100.0 * p.dropping.mean
+    });
+
+    println!("\n== Outage drops: calls cut mid-flight by dark cells ==");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>8}",
+        "requests", "FACS-P", "FACS", "SCC"
+    );
+    for (i, load) in faulted_report.load_points.iter().enumerate() {
+        print!("{load:>10}");
+        for c in CONTROLLERS {
+            print!(
+                "  {:>8}",
+                curve(&faulted_report, c).points[i]
+                    .merged
+                    .dropped_by_outage()
+            );
+        }
+        println!();
+    }
+
+    // The robustness headline: how much acceptance does each controller
+    // give up, and how much dropping does it take on, when a quarter of
+    // the network fails mid-run?
+    println!("\n== Capacity-loss cost (mean over the load axis) ==");
+    println!(
+        "{:>10}  {:>16}  {:>16}",
+        "controller", "acceptance lost", "dropping gained"
+    );
+    for c in CONTROLLERS {
+        let acc_cost = mean_over_loads(&healthy_report, c, |p| p.acceptance.mean)
+            - mean_over_loads(&faulted_report, c, |p| p.acceptance.mean);
+        let drop_cost = 100.0
+            * (mean_over_loads(&faulted_report, c, |p| p.dropping.mean)
+                - mean_over_loads(&healthy_report, c, |p| p.dropping.mean));
+        println!("{c:>10}  {acc_cost:>15.1}%  {drop_cost:>15.1}%");
+    }
+}

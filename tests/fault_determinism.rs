@@ -1,0 +1,157 @@
+//! Property tests for the fault-injection determinism contract
+//! (`cellsim::fault`): random plans must interleave in the engines'
+//! total `(time, connection_id, rank)` merge order, and a faulted run
+//! must stay byte-identical across shardings — not just for the pinned
+//! `outage-wave` golden, but for arbitrary seeded plans.
+
+use facs_suite::prelude::*;
+
+use cellsim::shard::{RANK_ADMIT, RANK_HANDOFF, RANK_RELEASE};
+use cellsim::MergeKey;
+
+/// A random but valid plan: outages, degradations and point events
+/// scattered over `cells` cells within `[0, horizon)` seconds.
+fn random_plan(seed: u64, cells: u32, horizon: f64) -> FaultPlan {
+    let mut rng = SimRng::new(seed).derive(0xFA_17);
+    let mut plan = FaultPlan::new();
+    for _ in 0..rng.uniform_u32(1, 6) {
+        let cell = rng.uniform_u32(0, cells - 1);
+        let start = rng.uniform(0.0, horizon * 0.8);
+        let duration = rng.uniform(horizon * 0.01, horizon * 0.2);
+        if rng.chance(0.5) {
+            plan = plan.with_outage(cell, start, duration);
+        } else {
+            plan = plan.with_degrade(cell, start, duration, rng.uniform(0.1, 0.9));
+        }
+    }
+    // A couple of events that never pair up, including simultaneous
+    // faults on distinct cells — the order must still be total.
+    let t = rng.uniform(0.0, horizon);
+    plan = plan
+        .with_event(t, rng.uniform_u32(0, cells - 1), FaultKind::Outage)
+        .with_event(t, rng.uniform_u32(0, cells - 1), FaultKind::Recovery);
+    plan
+}
+
+/// Every random plan sorts into a non-decreasing sequence of merge
+/// keys, and each fault key orders strictly after any real
+/// connection's work at the same instant (faults borrow a synthetic
+/// connection id above `1 << 63`, a range no live call occupies).
+#[test]
+fn random_plans_interleave_in_total_merge_order() {
+    for seed in 0..200u64 {
+        let plan = random_plan(seed, 30, 5_000.0);
+        plan.validate().unwrap_or_else(|e| {
+            panic!("seed {seed}: generated plan must be valid: {e}");
+        });
+        let events = plan.sorted_events();
+        assert!(!events.is_empty());
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].merge_key() <= pair[1].merge_key(),
+                "seed {seed}: sorted_events out of merge order: {pair:?}"
+            );
+        }
+        for event in &events {
+            let key = event.merge_key();
+            assert!(
+                key.connection_id >= 1 << 63,
+                "seed {seed}: fault key must use the reserved id range"
+            );
+            // Any real connection's release/admit/handoff at the same
+            // time must order before the fault — the engines apply a
+            // cell's in-flight work before the cell changes state.
+            for rank in [RANK_RELEASE, RANK_ADMIT, RANK_HANDOFF] {
+                let real = MergeKey::new(event.time, (1 << 63) - 1, rank);
+                assert!(real < key, "seed {seed}: fault preempted a connection");
+            }
+        }
+    }
+}
+
+/// Ties at one instant break by cell index, then declaration order —
+/// never by anything ambient.
+#[test]
+fn simultaneous_faults_order_by_cell_then_declaration() {
+    let plan = FaultPlan::new()
+        .with_event(10.0, 7, FaultKind::Outage)
+        .with_event(10.0, 2, FaultKind::Outage)
+        .with_event(10.0, 7, FaultKind::Recovery)
+        .with_event(5.0, 9, FaultKind::Restore);
+    let events = plan.sorted_events();
+    let order: Vec<(f64, u32, bool)> = events
+        .iter()
+        .map(|e| (e.time, e.cell, e.kind == FaultKind::Outage))
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            (5.0, 9, false),
+            (10.0, 2, true),
+            (10.0, 7, true), // declared first, so it stays first
+            (10.0, 7, false),
+        ]
+    );
+}
+
+fn run_with_plan(spec: &ScenarioSpec, plan: &FaultPlan, sharding: ShardConfig) -> ShardReport {
+    let controller = spec.controllers[0];
+    let mut config = spec.sim_config(&controller, 1, 0);
+    config.fault_plan = plan.clone();
+    let mut sim = ShardedSimulator::new(config, sharding);
+    let mut factory = || controller.build();
+    sim.run_poisson(&mut factory, spec.load_points[1])
+}
+
+/// The sharding-invariance contract holds for *arbitrary* seeded
+/// plans, not only the pinned golden: solo and parallel runs of the
+/// same random plan are byte-identical, and at least one plan must
+/// actually drop connections so the test cannot pass vacuously.
+#[test]
+fn random_fault_plans_are_sharding_invariant() {
+    let spec = builtin("highway-handoff").expect("built-in scenario");
+    let cells = 19;
+    let mut any_dropped = 0u64;
+    for seed in [11u64, 23, 47] {
+        let plan = random_plan(seed, cells, 2_000.0);
+        let solo = run_with_plan(&spec, &plan, ShardConfig::solo());
+        any_dropped += solo.dropped_by_outage;
+        let solo_json = serde_json::to_string_pretty(&solo).expect("serialize");
+        for (shards, threads) in [(2, 1), (5, 2), (19, 4)] {
+            let sharded =
+                run_with_plan(&spec, &plan, ShardConfig::new(shards).with_threads(threads));
+            let sharded_json = serde_json::to_string_pretty(&sharded).expect("serialize");
+            assert_eq!(
+                solo_json, sharded_json,
+                "seed {seed}: faulted run must not depend on \
+                 {shards} shards / {threads} threads"
+            );
+        }
+    }
+    assert!(
+        any_dropped > 0,
+        "the random plans must force-drop some connections somewhere"
+    );
+}
+
+/// Faults naming cells outside the grid are ignored, so one plan can be
+/// reused across grid sizes without changing results on the smaller
+/// grid.
+#[test]
+fn out_of_grid_faults_change_nothing() {
+    let spec = builtin("highway-handoff").expect("built-in scenario");
+    let healthy = run_with_plan(
+        &spec,
+        &FaultPlan::new(),
+        ShardConfig::new(5).with_threads(2),
+    );
+    let phantom = FaultPlan::new()
+        .with_outage(400, 10.0, 500.0)
+        .with_degrade(9_999, 1.0, 100.0, 0.25);
+    let faulted = run_with_plan(&spec, &phantom, ShardConfig::new(5).with_threads(2));
+    assert_eq!(
+        serde_json::to_string_pretty(&healthy).unwrap(),
+        serde_json::to_string_pretty(&faulted).unwrap(),
+        "out-of-grid faults must be inert"
+    );
+}

@@ -16,9 +16,11 @@
 //!
 //! The pinned cases are the 19-cell `highway-handoff` workload (dense
 //! cross-cell handoff traffic on a small grid), the 2107-cell `metro`
-//! workload at its first load point (cross-shard migration at scale), and
-//! the `burst-groups` workload (correlated same-cell group arrivals), so
-//! the contract is enforced under bursty, non-Poisson traffic too.
+//! workload at its first load point (cross-shard migration at scale), the
+//! `burst-groups` workload (correlated same-cell group arrivals), so the
+//! contract is enforced under bursty, non-Poisson traffic too, and the
+//! `outage-wave` workload (a rolling fault plan), so it is also enforced
+//! while the fourth (fault) merge stream is live.
 
 use facs_suite::prelude::*;
 use std::path::PathBuf;
@@ -51,6 +53,12 @@ const CASES: &[Case] = &[
         scenario: "burst-groups",
         controller: 0, // FACS-P
         load_index: 2, // 2000 requests
+        shardings: &[(2, 1), (5, 2)],
+    },
+    Case {
+        scenario: "outage-wave",
+        controller: 0, // FACS-P
+        load_index: 1, // 1000 requests
         shardings: &[(2, 1), (5, 2)],
     },
 ];
